@@ -1,0 +1,71 @@
+"""Ablation: the §4 global traffic manager vs sender-driven partitioning.
+
+Re-runs the Figure 4 cases under max-min fair allocation (the software
+traffic manager the paper proposes) and contrasts Jain fairness with the
+hardware's demand-proportional split. Also exercises the token-pool and
+detailed-NoC ablations from DESIGN.md.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.experiments import ablations
+
+from benchmarks.conftest import emit
+
+
+def bench_manager_vs_sender_driven(benchmark, p9634):
+    out = benchmark.pedantic(
+        ablations.manager_vs_sender_driven, args=(p9634,), rounds=1, iterations=1
+    )
+    rows = []
+    for case, ablation in out.items():
+        sender_fair, managed_fair = ablation.fairness()
+        rows.append([
+            case,
+            f"{ablation.sender_driven['flow0']:.1f}/{ablation.sender_driven['flow1']:.1f}",
+            f"{sender_fair:.3f}",
+            f"{ablation.managed['flow0']:.1f}/{ablation.managed['flow1']:.1f}",
+            f"{managed_fair:.3f}",
+        ])
+    emit(render_table(
+        ["case", "sender-driven f0/f1", "Jain", "managed f0/f1", "Jain"],
+        rows,
+        title="Ablation: traffic manager (max-min) vs sender-driven (GMI, 9634)",
+    ))
+    case4 = out["case4-unequal-demands"]
+    assert case4.fairness()[1] == pytest.approx(1.0)
+    assert case4.fairness()[1] > case4.fairness()[0]
+    case2 = out["case2-small-vs-aggressive"]
+    assert case2.managed["flow0"] == pytest.approx(case2.requested["flow0"])
+
+
+def bench_token_pool_ablation(benchmark, p7302):
+    out = benchmark.pedantic(
+        ablations.token_pool_ablation, args=(p7302,), rounds=1, iterations=1
+    )
+    emit(render_table(
+        ["variant", "mean latency (ns)", "max GMI backlog"],
+        [
+            [label, f"{v['mean_latency_ns']:.1f}", f"{v['gmi_max_backlog']:.0f}"]
+            for label, v in out.items()
+        ],
+        title="Ablation: Phantom-Queue-like token pools (GMI saturation, 7302)",
+    ))
+    assert (
+        out["with_tokens"]["gmi_max_backlog"]
+        < out["without_tokens"]["gmi_max_backlog"]
+    )
+
+
+def bench_detailed_noc_validation(benchmark, p7302):
+    deltas = benchmark.pedantic(
+        ablations.detailed_vs_collapsed_noc, args=(p7302,), rounds=1, iterations=1
+    )
+    emit(render_table(
+        ["position", "hop-by-hop minus analytic (ns)"],
+        [[k, f"{v:.2e}"] for k, v in deltas.items()],
+        title="Ablation: detailed mesh DES vs collapsed path model (7302)",
+    ))
+    for position, delta in deltas.items():
+        assert abs(delta) < 1e-9, position

@@ -1,0 +1,62 @@
+"""Application-level artifact: the KV server's request-latency budget.
+
+Regenerates the sub-microsecond GET anatomy (the "killer microseconds"
+scenario the paper's motivation cites) and the colocation effect the
+traffic manager reverses. Shape criteria: each extra dependent index hop
+costs one fabric round trip; CXL value tiering adds its latency premium;
+an unthrottled same-chiplet scan moves the tail and pacing restores it.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.apps import KvServerModel, KvWorkload
+
+from benchmarks.conftest import emit
+
+
+def bench_kv_server_anatomy(benchmark, p9634):
+    server = KvServerModel(p9634, workers=4, seed=3)
+    background = [core.core_id for core in p9634.cores_of_ccd(0)[4:]]
+
+    def study():
+        base = KvWorkload(qps=1_000_000, requests=400)
+        return {
+            "baseline": server.serve(base),
+            "deep-index": server.serve(
+                KvWorkload(qps=1_000_000, requests=400, index_depth=4)
+            ),
+            "cxl-values": server.serve(
+                KvWorkload(qps=1_000_000, requests=400, value_tier="cxl")
+            ),
+            "noisy": server.serve(base, background_cores=background),
+            "paced": server.serve(
+                base, background_cores=background, background_rate_gbps=8.0
+            ),
+        }
+
+    reports = benchmark.pedantic(study, rounds=1, iterations=1)
+    emit(render_table(
+        ["scenario", "mean ns", "p99 ns", "achieved QPS"],
+        [
+            [
+                name,
+                f"{report.latency.mean:.0f}",
+                f"{report.latency.p99:.0f}",
+                f"{report.achieved_qps:.0f}",
+            ]
+            for name, report in reports.items()
+        ],
+        title="KV server GET path on the EPYC 9634 (1M QPS offered)",
+    ))
+    base = reports["baseline"]
+    # Two extra dependent hops ≈ two extra fabric round trips.
+    delta = reports["deep-index"].latency.mean - base.latency.mean
+    assert delta == pytest.approx(2 * 141.0, rel=0.25)
+    # The CXL tier pays its latency premium per value fetch.
+    assert reports["cxl-values"].latency.mean > base.latency.mean + 80.0
+    # Colocation hurts; pacing restores.
+    assert reports["noisy"].latency.p99 > base.latency.p99
+    assert reports["paced"].latency.mean == pytest.approx(
+        base.latency.mean, rel=0.05
+    )

@@ -1,0 +1,54 @@
+"""§4 #6: collective communication on the chiplet network.
+
+Regenerates the all-reduce algorithm comparison: flat/tree/ring completion
+time across payload sizes on both platforms, with the ring-vs-tree
+crossover. Shape criteria: small payloads are latency-bound (flat/tree
+win), large payloads are bandwidth-bound (ring wins), and the 12-chiplet
+9634 pushes the crossover to larger payloads than the 4-chiplet 7302.
+"""
+
+from repro.analysis.report import render_table
+from repro.collective import Algorithm, allreduce_time_ns, crossover_bytes
+
+from benchmarks.conftest import emit
+
+_SIZES = (256, 4 * 1024, 64 * 1024, 1 << 20, 16 << 20)
+
+
+def bench_collective_allreduce(benchmark, p7302, p9634):
+    def sweep():
+        out = {}
+        for platform in (p7302, p9634):
+            rows = []
+            for n in _SIZES:
+                rows.append([
+                    n,
+                    *(
+                        f"{allreduce_time_ns(platform, n, a) / 1e3:.1f}"
+                        for a in Algorithm
+                    ),
+                ])
+            out[platform.name] = (rows, crossover_bytes(platform))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, (rows, crossover) in results.items():
+        emit(render_table(
+            ["bytes", "flat (us)", "tree (us)", "ring (us)"],
+            rows,
+            title=f"All-reduce across chiplets ({name})",
+        ))
+        emit(f"ring beats tree from {crossover:.0f} bytes")
+
+    assert results["EPYC 9634"][1] > results["EPYC 7302"][1]
+    for platform in (p7302, p9634):
+        big = 16 << 20
+        ring = allreduce_time_ns(platform, big, Algorithm.RING)
+        tree = allreduce_time_ns(platform, big, Algorithm.TREE)
+        flat = allreduce_time_ns(platform, big, Algorithm.FLAT)
+        assert ring < tree < flat
+        small = 256
+        assert allreduce_time_ns(platform, small, Algorithm.RING) > min(
+            allreduce_time_ns(platform, small, Algorithm.FLAT),
+            allreduce_time_ns(platform, small, Algorithm.TREE),
+        )

@@ -1,0 +1,44 @@
+"""Regenerate Figure 4 — sender-driven bandwidth partitioning (§3.5).
+
+Four demand cases on every link (IF/GMI on both CPUs, P Link on the 9634).
+Shape criteria, emergent from traffic-oblivious FIFO arbitration:
+
+* case 1 (under-subscribed): both flows receive exactly their requests;
+* cases 2 and 4: the flow with the higher demand exceeds its equal share;
+* case 3 (equal demands): equilibrium split.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+
+from benchmarks.conftest import emit
+
+
+def _check(result):
+    for cases in result.outcomes.values():
+        case1 = cases["case1-undersubscribed"]
+        for flow, requested in case1.requested.items():
+            assert case1.achieved[flow] == pytest.approx(requested)
+        for case_name in ("case2-small-vs-aggressive", "case4-unequal-demands"):
+            outcome = cases[case_name]
+            assert outcome.achieved["flow1"] > outcome.equal_share()
+            assert outcome.achieved["flow1"] > outcome.achieved["flow0"]
+        case3 = cases["case3-equal-demands"]
+        assert case3.achieved["flow0"] == pytest.approx(case3.achieved["flow1"])
+        for outcome in cases.values():
+            assert sum(outcome.achieved.values()) <= outcome.capacity_gbps + 1e-9
+
+
+def bench_fig4_epyc_7302(benchmark, p7302):
+    result = benchmark.pedantic(fig4.run, args=(p7302,), rounds=1, iterations=1)
+    emit(fig4.render([result]))
+    assert set(result.outcomes) == {"if", "gmi"}
+    _check(result)
+
+
+def bench_fig4_epyc_9634(benchmark, p9634):
+    result = benchmark.pedantic(fig4.run, args=(p9634,), rounds=1, iterations=1)
+    emit(fig4.render([result]))
+    assert set(result.outcomes) == {"if", "gmi", "plink"}
+    _check(result)

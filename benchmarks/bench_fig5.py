@@ -1,0 +1,64 @@
+"""Regenerate Figure 5 — bandwidth harvesting under fluctuating demand (§3.5).
+
+Six-second runs with flow 0 throttled by 2 GB/s during [2,3)s and [4,5)s.
+Shape criteria from the paper:
+
+* the unthrottled flow reaps the freed bandwidth on the 9634 — in ≈100 ms
+  on the IF and ≈500 ms on the P Link;
+* the 7302's IF shows "drastic variation" (under-damped token reclaim);
+* both flows return to the equal share once throttling ends.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+from benchmarks.conftest import emit
+
+
+def _emit_trace(result, samples=12):
+    trace = result.traces["flow1"].achieved_series()
+    stride = max(1, len(trace.times_s) // samples)
+    points = ", ".join(
+        f"{t:.1f}s:{v:.1f}"
+        for t, v in zip(trace.times_s[::stride], trace.values[::stride])
+    )
+    emit(
+        f"Figure 5 [{result.scenario.platform} {result.scenario.name}] "
+        f"flow1 GB/s: {points}\n"
+        f"  harvest delay: "
+        f"{'n/a' if result.harvest_delay_s is None else f'{result.harvest_delay_s*1e3:.0f} ms'}"
+        f", in-window variation: {result.variation_gbps:.2f} GB/s"
+    )
+
+
+def bench_fig5_if_9634(benchmark, p9634):
+    result = benchmark.pedantic(
+        fig5.run, args=(p9634, "if"), rounds=1, iterations=1
+    )
+    _emit_trace(result)
+    assert result.harvest_delay_s == pytest.approx(0.1, abs=0.03)
+    series = result.traces["flow1"].achieved_series()
+    capacity = result.scenario.capacity_gbps
+    assert series.mean_between(2.7, 3.0) == pytest.approx(
+        capacity / 2 + 2.0, abs=0.2
+    )
+    assert series.mean_between(5.5, 6.0) == pytest.approx(capacity / 2, abs=0.3)
+
+
+def bench_fig5_plink_9634(benchmark, p9634):
+    result = benchmark.pedantic(
+        fig5.run, args=(p9634, "plink"), rounds=1, iterations=1
+    )
+    _emit_trace(result)
+    assert result.harvest_delay_s == pytest.approx(0.5, abs=0.1)
+
+
+def bench_fig5_if_7302(benchmark, p7302, p9634):
+    result = benchmark.pedantic(
+        fig5.run, args=(p7302, "if"), rounds=1, iterations=1
+    )
+    _emit_trace(result)
+    smooth = fig5.run(p9634, "if")
+    # "the EPYC 7302 sees drastic variation at the IF link".
+    assert result.variation_gbps > 3 * smooth.variation_gbps

@@ -1,0 +1,72 @@
+"""Regenerate Figure 6 — read/write interference on the EPYC 9634 (§3.5).
+
+A frontend stream X at max rate against a swept background stream Y, per
+(X, Y) ∈ {read, write}² on four link scenarios. Shape criteria: interference
+appears only when a shared directed resource saturates, with knees at the
+paper's thresholds:
+
+* IF intra-CC: X(write)/X(read) knee when background reads hit 32.8/27.7;
+* IF inter-CC: writes never affected; reads knee at 55.7 aggregate;
+* GMI: 31.8 (read) / 29.1 (write) aggregate;
+* P Link/CXL: 62.8 / 44.0 aggregate.
+"""
+
+import pytest
+
+from repro.experiments import fig6
+from repro.transport.message import OpKind
+
+from benchmarks.conftest import emit
+
+
+def bench_fig6_interference(benchmark, p9634):
+    result = benchmark.pedantic(fig6.run, args=(p9634,), rounds=1, iterations=1)
+    emit(fig6.render(result))
+
+    intra_wr = result.curve("if-intra-cc", OpKind.NT_WRITE, OpKind.READ)
+    intra_rr = result.curve("if-intra-cc", OpKind.READ, OpKind.READ)
+    assert intra_wr.knee_gbps == pytest.approx(32.8, abs=1.0)
+    assert intra_rr.knee_gbps == pytest.approx(27.7, abs=1.0)
+    assert result.curve(
+        "if-intra-cc", OpKind.READ, OpKind.NT_WRITE
+    ).knee_gbps is None
+
+    inter_rr = result.curve("if-inter-cc", OpKind.READ, OpKind.READ)
+    assert inter_rr.knee_aggregate_gbps == pytest.approx(55.7, abs=1.5)
+    for y_op in (OpKind.READ, OpKind.NT_WRITE):
+        assert result.curve("if-inter-cc", OpKind.NT_WRITE, y_op).knee_gbps is None
+
+    gmi_rr = result.curve("gmi", OpKind.READ, OpKind.READ)
+    gmi_ww = result.curve("gmi", OpKind.NT_WRITE, OpKind.NT_WRITE)
+    assert gmi_rr.knee_aggregate_gbps == pytest.approx(31.8, abs=1.0)
+    assert gmi_ww.knee_aggregate_gbps == pytest.approx(29.1, abs=1.0)
+
+    plink_rr = result.curve("plink-cxl", OpKind.READ, OpKind.READ)
+    plink_ww = result.curve("plink-cxl", OpKind.NT_WRITE, OpKind.NT_WRITE)
+    assert plink_rr.knee_aggregate_gbps == pytest.approx(62.8, abs=1.5)
+    assert plink_ww.knee_aggregate_gbps == pytest.approx(44.0, abs=1.5)
+
+
+def bench_fig6_curve_shape(benchmark, p9634):
+    """X holds its solo bandwidth before the knee and declines after."""
+
+    def sweep():
+        return fig6.run(p9634, points=80)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for curve in result.curves:
+        if curve.knee_gbps is None:
+            continue
+        before = [
+            x for y, x in zip(curve.y_offered, curve.x_achieved)
+            if y < curve.knee_gbps - 1.0
+        ]
+        after = [
+            x for y, x in zip(curve.y_offered, curve.x_achieved)
+            if y > curve.knee_gbps + 2.0
+        ]
+        assert all(
+            x == pytest.approx(curve.baseline, rel=0.03) for x in before
+        ), curve
+        if after:
+            assert min(after) < curve.baseline

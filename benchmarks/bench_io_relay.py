@@ -1,0 +1,43 @@
+"""§4 #3: the fused network/storage stack on the chiplet fabric.
+
+Regenerates the relay study: a 400 GbE port and an 8-SSD array against the
+three stack designs. Shape criteria: the conventional CPU-copy stack binds
+on one compute chiplet well below the external devices (the paper's
+motivating observation), naive DMA staging binds on one memory domain
+(on DDR4), and channel-aware orchestration is device-bound.
+"""
+
+import pytest
+
+from repro.io.relay import RelayDesign, render, sweep_designs
+
+from benchmarks.conftest import emit
+
+
+def bench_io_relay_7302(benchmark, p7302):
+    results = benchmark.pedantic(
+        sweep_designs, args=(p7302,), rounds=1, iterations=1
+    )
+    emit(render(results))
+    cpu = results[RelayDesign.CPU_COPY]
+    dma = results[RelayDesign.SINGLE_DOMAIN_DMA]
+    aware = results[RelayDesign.CHANNEL_AWARE]
+    assert cpu.throughput_gbps < dma.throughput_gbps < aware.throughput_gbps
+    assert cpu.bottleneck == "compute-chiplet"
+    assert cpu.throughput_gbps == pytest.approx(14.3, rel=0.05)
+    assert dma.bottleneck == "staging-domain"
+    assert aware.external_bound
+    assert aware.throughput_gbps == pytest.approx(50.0, rel=0.02)
+
+
+def bench_io_relay_9634(benchmark, p9634):
+    results = benchmark.pedantic(
+        sweep_designs, args=(p9634,), rounds=1, iterations=1
+    )
+    emit(render(results))
+    cpu = results[RelayDesign.CPU_COPY]
+    assert cpu.bottleneck == "compute-chiplet"
+    assert cpu.throughput_gbps == pytest.approx(23.8, rel=0.05)
+    # DDR5 quadrants out-run the NIC: both DMA designs are device-bound.
+    assert results[RelayDesign.SINGLE_DOMAIN_DMA].external_bound
+    assert results[RelayDesign.CHANNEL_AWARE].external_bound

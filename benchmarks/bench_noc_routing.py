@@ -1,0 +1,26 @@
+"""§2.3's two router kinds: buffered vs bufferless NoC routing under load.
+
+Shape criteria: comparable at light load; under load the bufferless mesh
+pays for contention in deflected hops — higher mean, much higher tail —
+while the buffered mesh pays in queue occupancy.
+"""
+
+from repro.experiments import noc_routing
+
+from benchmarks.conftest import emit
+
+
+def bench_noc_routing_comparison(benchmark, p7302):
+    def sweep():
+        return {
+            lanes: noc_routing.run(p7302, lanes_per_sender=lanes)
+            for lanes in (1, 4, 8)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(noc_routing.render(results))
+    light, heavy = results[1], results[8]
+    assert light.bufferless_mean_ns < 1.3 * light.buffered_mean_ns
+    assert heavy.bufferless_mean_ns > 1.2 * heavy.buffered_mean_ns
+    assert heavy.bufferless_p99_ns > 2.0 * heavy.buffered_p99_ns
+    assert heavy.deflection_rate > 1.0  # more than one deflection per packet

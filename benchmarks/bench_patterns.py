@@ -1,0 +1,39 @@
+"""§3.1's remaining workload axes: the access-pattern bandwidth matrix.
+
+Shape criteria: sequential > random > pointer-chase for reads at every
+scope; temporal (RFO) writes land between NT writes and reads; pointer
+chasing equals one cacheline per unloaded round trip.
+"""
+
+import pytest
+
+from repro.core.flows import Scope
+from repro.experiments import patterns
+from repro.platform.numa import Position
+
+from benchmarks.conftest import emit
+
+
+def bench_pattern_matrix(benchmark, p7302, p9634):
+    def sweep():
+        return {p.name: patterns.run(p) for p in (p7302, p9634)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(patterns.render(results))
+    for platform, matrix in zip((p7302, p9634), results.values()):
+        for scope in (Scope.CORE, Scope.CCX, Scope.CPU):
+            sequential = matrix.gbps("sequential-read", scope)
+            random = matrix.gbps("random-read", scope)
+            chase = matrix.gbps("pointer-chase", scope)
+            assert sequential >= random >= chase
+        # One line per round trip for a single chasing core.
+        near = platform.dram_latency_at(0, Position.NEAR)
+        assert matrix.gbps("pointer-chase", Scope.CORE) == pytest.approx(
+            64.0 / near, rel=0.02
+        )
+        # RFO stores between NT streams and reads at chiplet scope.
+        assert (
+            matrix.gbps("nt-write", Scope.CCX)
+            <= matrix.gbps("temporal-write", Scope.CCX)
+            < matrix.gbps("sequential-read", Scope.CCX)
+        )

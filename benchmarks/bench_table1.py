@@ -1,0 +1,30 @@
+"""Regenerate Table 1 — hardware specifications (paper §2.2).
+
+Static by construction; the benchmark verifies the presets reproduce the
+paper's table exactly and times the platform construction itself.
+"""
+
+from repro.experiments import table1
+from repro.platform.presets import epyc_7302, epyc_9634
+
+from benchmarks.conftest import emit
+
+
+def bench_build_platforms(benchmark):
+    """Time building both platform models."""
+
+    def build():
+        return epyc_7302(), epyc_9634()
+
+    p7, p9 = benchmark(build)
+    assert len(p7.cores) == 16
+    assert len(p9.cores) == 84
+
+
+def bench_table1(benchmark):
+    """Regenerate and validate Table 1."""
+    result = benchmark.pedantic(table1.run, rounds=3, iterations=1)
+    emit(table1.render(result))
+    for name, expected in table1.PAPER_TABLE1.items():
+        for key, value in expected.items():
+            assert result.row(name)[key] == value, (name, key)

@@ -1,0 +1,53 @@
+"""Regenerate Table 2 — the data-path latency breakdown (paper §3.2).
+
+Pointer chasing resolves each cache level, saturation probes measure the
+traffic-control queueing bounds, and routed DES transactions measure the
+per-position DRAM and CXL latencies. Shape criteria: every measured value
+within 5% of the paper (queueing bounds within ~10%), and the position
+orderings including the 9634's diagonal<horizontal inversion.
+"""
+
+import pytest
+
+from repro.experiments import table2
+
+from benchmarks.conftest import emit
+
+
+def _check_row(row, paper):
+    for key in ("l1", "l2", "l3", "near", "vertical", "horizontal", "diagonal"):
+        measured = row.as_dict()[key]
+        assert measured == pytest.approx(paper[key], rel=0.05), key
+    assert row.max_ccx_q == pytest.approx(paper["max_ccx_q"], rel=0.12)
+    if paper["max_ccd_q"] is None:
+        assert row.max_ccd_q is None
+    else:
+        assert row.max_ccd_q == pytest.approx(paper["max_ccd_q"], rel=0.12)
+    if paper["cxl"] is not None:
+        assert row.cxl == pytest.approx(paper["cxl"], rel=0.05)
+
+
+def bench_table2_epyc_7302(benchmark, p7302):
+    """Latency breakdown column for the EPYC 7302."""
+    row = benchmark.pedantic(
+        table2.run, args=(p7302,), kwargs={"iterations": 1500},
+        rounds=1, iterations=1,
+    )
+    emit(table2.render({p7302.name: row}))
+    _check_row(row, table2.PAPER_TABLE2["EPYC 7302"])
+    assert row.near < row.vertical < row.horizontal
+    assert row.diagonal > row.vertical
+
+
+def bench_table2_epyc_9634(benchmark, p9634):
+    """Latency breakdown column for the EPYC 9634 (with CXL)."""
+    row = benchmark.pedantic(
+        table2.run, args=(p9634,), kwargs={"iterations": 1500},
+        rounds=1, iterations=1,
+    )
+    emit(table2.render({p9634.name: row}))
+    _check_row(row, table2.PAPER_TABLE2["EPYC 9634"])
+    # The paper's inversion: diagonal beats horizontal on the newer I/O die.
+    assert row.diagonal < row.horizontal
+    # CXL ≈ 1.7× local DRAM.
+    assert row.cxl / row.near == pytest.approx(243 / 141, rel=0.05)

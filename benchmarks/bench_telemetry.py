@@ -1,0 +1,83 @@
+"""Benchmarks for the §4 observability proposals: device tree, sketch
+profiler, traffic matrix — the pieces around direction #1 and #5.
+
+These are genuine performance benchmarks (the profiler must keep up with
+per-transaction event rates), plus artifact regeneration for the
+`/sys/firmware/chiplet-net` and `/proc/chiplet-net` proposals.
+"""
+
+from repro.sim.rng import make_rng
+from repro.telemetry.counters import CounterRegistry
+from repro.telemetry.devtree import build_devtree, proc_chiplet_net, render_dts
+from repro.telemetry.matrix import TrafficMatrix
+from repro.telemetry.profiler import FlowProfiler, FlowSample
+from repro.telemetry.sketch import CountMinSketch
+
+from benchmarks.conftest import emit
+
+
+def bench_devtree_export(benchmark, p9634):
+    text = benchmark(lambda: render_dts(build_devtree(p9634)))
+    emit("\n".join(text.splitlines()[:24]) + "\n\t... (truncated)")
+    assert "cxl0" in text
+
+
+def bench_proc_chiplet_net(benchmark, p9634):
+    registry = CounterRegistry()
+    rng = make_rng(0)
+    links = list(p9634.links.values())
+    for __ in range(2000):
+        link = links[rng.integers(len(links))]
+        registry.record(link, 64, bool(rng.integers(2)))
+    report = benchmark(
+        lambda: proc_chiplet_net(p9634, registry, elapsed_ns=1e6)
+    )
+    emit("\n".join(report.splitlines()[:12]) + "\n... (truncated)")
+    assert "chiplet-net: EPYC 9634" in report
+
+
+def bench_sketch_update_rate(benchmark):
+    """Per-event cost of the count-min sketch (the profiler's hot path)."""
+    sketch = CountMinSketch(width=2048, depth=4)
+    keys = [f"flow-{i}" for i in range(64)]
+
+    def update_block():
+        for i in range(256):
+            sketch.add(keys[i % 64], 64)
+
+    benchmark(update_block)
+    assert sketch.estimate("flow-0") > 0
+
+
+def bench_profiler_throughput(benchmark):
+    profiler = FlowProfiler(top_k=8)
+    samples = [
+        FlowSample(f"flow-{i % 16}", 64, float(i)) for i in range(512)
+    ]
+
+    def record_block():
+        for sample in samples:
+            profiler.record(sample)
+
+    benchmark(record_block)
+    assert profiler.top_flows()
+
+
+def bench_traffic_matrix_gravity(benchmark):
+    sources = [f"ccd{i}" for i in range(12)]
+    destinations = [f"umc{i}" for i in range(12)] + ["cxl"]
+    truth = TrafficMatrix(sources, destinations)
+    rng = make_rng(1)
+    for src in sources:
+        out = float(rng.uniform(5, 30))
+        weights = rng.random(len(destinations))
+        weights /= weights.sum()
+        for dst, w in zip(destinations, weights):
+            truth.record(src, dst, out * float(w))
+
+    estimate = benchmark(
+        lambda: TrafficMatrix.gravity_estimate(
+            truth.row_sums(), truth.col_sums()
+        )
+    )
+    assert estimate.total_gbps() > 0

@@ -1,0 +1,21 @@
+"""Benchmark fixtures: the two paper platforms, built once per session."""
+
+import pytest
+
+from repro.platform.presets import epyc_7302, epyc_9634
+
+
+@pytest.fixture(scope="session")
+def p7302():
+    return epyc_7302()
+
+
+@pytest.fixture(scope="session")
+def p9634():
+    return epyc_9634()
+
+
+def emit(text: str) -> None:
+    """Print a regenerated paper artifact (visible with ``pytest -s``)."""
+    print()
+    print(text)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""NUMA placement on a chiplet server: what each tier actually costs.
+
+Walks the full memory-placement ladder the paper's Implication #1 warns
+about — local near DIMM, the other mesh positions, the remote socket
+(the Dell 7525 is two-socket), and CXL — for both latency and per-core
+streaming bandwidth, then prints the characterization suite's derived
+placement guidelines.
+
+Run:  python examples/numa_placement.py
+"""
+
+from repro import MicroBench, OpKind, Position, Scope, epyc_7302, epyc_9634
+from repro.core.flows import Pattern
+from repro.core.suite import CharacterizationSuite
+from repro.units import MIB
+
+
+def ladder_7302() -> None:
+    platform = epyc_7302()
+    bench = MicroBench(platform, seed=11)
+    print(f"== {platform.name} (two sockets) — placement ladder ==")
+    print(f"{'tier':<22}{'latency':>10}{'1-core GB/s':>13}")
+    for position in Position:
+        __, stats = bench.pointer_chase(
+            256 * MIB, position=position, iterations=800
+        )
+        bw = bench.fabric.per_core_ceiling_gbps(
+            OpKind.READ, "dram", 0,
+            umc_ids=[u.umc_id for u in platform.umcs_at(0, position)],
+        )
+        print(f"local {position.value:<16}{stats.mean:>9.1f}ns{bw:>12.1f}")
+    __, remote = bench.pointer_chase(
+        256 * MIB, remote_socket=True, iterations=800
+    )
+    remote_bw = bench.stream_bandwidth(
+        Scope.CORE, OpKind.READ, remote_socket=True
+    )
+    print(f"{'remote socket':<22}{remote.mean:>9.1f}ns{remote_bw:>12.1f}")
+
+
+def ladder_9634() -> None:
+    platform = epyc_9634()
+    bench = MicroBench(platform, seed=11)
+    print(f"\n== {platform.name} — placement ladder (incl. CXL) ==")
+    print(f"{'tier':<22}{'latency':>10}{'1-core GB/s':>13}")
+    for position in (Position.NEAR, Position.DIAGONAL):
+        __, stats = bench.pointer_chase(
+            256 * MIB, position=position, iterations=800
+        )
+        print(f"local {position.value:<16}{stats.mean:>9.1f}ns{'':>12}")
+    __, cxl = bench.pointer_chase(256 * MIB, target="cxl", iterations=800)
+    cxl_bw = bench.stream_bandwidth(Scope.CORE, OpKind.READ, target="cxl")
+    print(f"{'CXL memory':<22}{cxl.mean:>9.1f}ns{cxl_bw:>12.1f}")
+
+    print("\naccess-pattern sensitivity (single core to local DRAM):")
+    for pattern in (Pattern.SEQUENTIAL, Pattern.RANDOM, Pattern.POINTER_CHASE):
+        bw = bench.stream_bandwidth(Scope.CORE, OpKind.READ, pattern=pattern)
+        print(f"  {pattern.value:<16}{bw:>8.2f} GB/s")
+
+
+def guidelines() -> None:
+    print("\n== derived guidelines (characterization suite) ==")
+    suite = CharacterizationSuite(iterations=600)
+    report = suite.run(epyc_9634())
+    for guideline in report.guidelines:
+        print(f"  * {guideline}")
+
+
+def main() -> None:
+    ladder_7302()
+    ladder_9634()
+    guidelines()
+
+
+if __name__ == "__main__":
+    main()

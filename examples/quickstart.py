@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a chiplet server in a dozen lines.
+
+Builds the EPYC 9634 platform of the paper, measures the pointer-chase
+latency ladder (Table 2 style), then the bandwidth-domain ladder (Table 3
+style) — the two measurements that expose "server chiplet networking".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MicroBench, OpKind, Position, Scope, epyc_9634
+from repro.units import KIB, MIB
+
+def main() -> None:
+    platform = epyc_9634()
+    bench = MicroBench(platform, seed=42)
+    print(f"platform: {platform}")
+
+    print("\n-- latency ladder (pointer chasing, growing working set) --")
+    for working_set in (32 * KIB, 512 * KIB, 16 * MIB, 256 * MIB):
+        level, stats = bench.pointer_chase(working_set, iterations=1000)
+        print(
+            f"  {working_set / MIB:8.3f} MiB -> {level.value:5s} "
+            f"{stats.mean:7.1f} ns (P999 {stats.p999:7.1f} ns)"
+        )
+    for position in Position:
+        __, stats = bench.pointer_chase(
+            256 * MIB, position=position, iterations=1000
+        )
+        print(f"  DRAM {position.value:10s} -> {stats.mean:7.1f} ns")
+    __, stats = bench.pointer_chase(256 * MIB, target="cxl", iterations=1000)
+    print(f"  CXL DIMM        -> {stats.mean:7.1f} ns")
+
+    print("\n-- bandwidth domains (max-rate streams, read/NT-write GB/s) --")
+    for scope in Scope:
+        read = bench.stream_bandwidth(scope, OpKind.READ)
+        write = bench.stream_bandwidth(scope, OpKind.NT_WRITE)
+        print(f"  from {scope.value:5s} to DIMMs: {read:6.1f} / {write:6.1f}")
+    for scope in Scope:
+        read = bench.stream_bandwidth(scope, OpKind.READ, target="cxl")
+        write = bench.stream_bandwidth(scope, OpKind.NT_WRITE, target="cxl")
+        print(f"  from {scope.value:5s} to CXL:   {read:6.1f} / {write:6.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Storage-server relay: when the network outpaces a compute chiplet.
+
+The paper's §4 #3 observation, quantified: a 400 GbE port (50 GB/s) and an
+8-SSD NVMe array (56 GB/s) against the intra-host fabric, under three I/O
+stack designs — plus a sweep of NIC speeds showing exactly when the
+conventional CPU-copy stack stopped being good enough.
+
+Run:  python examples/storage_relay.py
+"""
+
+from repro.io.relay import (
+    NicSpec,
+    RelayDesign,
+    relay_throughput,
+    render,
+    sweep_designs,
+)
+from repro.platform.presets import epyc_7302, epyc_9634
+
+
+def main() -> None:
+    for platform in (epyc_7302(), epyc_9634()):
+        print(render(sweep_designs(platform)))
+        print()
+
+    print("When did CPU-copy stop keeping up? (EPYC 7302, relay GB/s)")
+    platform = epyc_7302()
+    print(f"{'NIC':>10} {'line GB/s':>10} {'cpu-copy':>9} {'bound on':>18}")
+    for name, gbps in (
+        ("10GbE", 1.25),
+        ("25GbE", 3.1),
+        ("100GbE", 12.5),
+        ("200GbE", 25.0),
+        ("400GbE", 50.0),
+        ("800GbE", 100.0),
+    ):
+        result = relay_throughput(
+            platform, RelayDesign.CPU_COPY, nic=NicSpec(name, gbps)
+        )
+        print(
+            f"{name:>10} {gbps:>10.2f} {result.throughput_gbps:>9.1f} "
+            f"{result.bottleneck:>18}"
+        )
+    print(
+        "\nbeyond ~100GbE the chiplet, not the wire, is the storage server's"
+        "\nceiling — the fused stack the paper calls for orchestrates around it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pinned environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e . --no-use-pep517`` fall back to the classic
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""Log-binned latency histograms.
+
+:class:`~repro.analysis.stats.LatencyStats` keeps full sample arrays — fine
+for experiments, wasteful for long-running telemetry. The paper's §4 #5
+profiler needs "time-series-based probabilistic and compact data
+structures"; :class:`LatencyHistogram` is the latency-side counterpart to
+the count-min sketch: fixed memory, bounded relative error (the bin growth
+factor), streaming insertion, mergeable across workers, and percentile
+estimation by interpolation within bins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, MeasurementError
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """A histogram with geometrically growing bins over [min_ns, max_ns]."""
+
+    def __init__(
+        self,
+        min_ns: float = 1.0,
+        max_ns: float = 1e7,
+        growth: float = 1.05,
+    ) -> None:
+        if min_ns <= 0 or max_ns <= min_ns:
+            raise ConfigurationError("need 0 < min_ns < max_ns")
+        if growth <= 1.0:
+            raise ConfigurationError("growth factor must exceed 1")
+        self.min_ns = min_ns
+        self.max_ns = max_ns
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        bin_count = (
+            int(math.ceil(math.log(max_ns / min_ns) / self._log_growth)) + 2
+        )
+        # Bin 0 is the underflow bucket; the last bin is overflow.
+        self.counts: List[int] = [0] * bin_count
+        self.total = 0
+
+    def _bin_index(self, value_ns: float) -> int:
+        if value_ns < self.min_ns:
+            return 0
+        if value_ns >= self.max_ns:
+            return len(self.counts) - 1
+        return 1 + int(math.log(value_ns / self.min_ns) / self._log_growth)
+
+    def _bin_bounds(self, index: int) -> tuple[float, float]:
+        if index == 0:
+            return (0.0, self.min_ns)
+        if index == len(self.counts) - 1:
+            return (self.max_ns, self.max_ns)
+        lo = self.min_ns * self.growth ** (index - 1)
+        return (lo, min(lo * self.growth, self.max_ns))
+
+    def add(self, value_ns: float) -> None:
+        """Insert one sample."""
+        if value_ns < 0:
+            raise MeasurementError(f"negative latency {value_ns}")
+        self.counts[self._bin_index(value_ns)] += 1
+        self.total += 1
+
+    def add_many(self, values_ns: Sequence[float]) -> None:
+        """Insert a batch of samples."""
+        for value in values_ns:
+            self.add(value)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (same binning) into this one."""
+        if (
+            other.min_ns != self.min_ns
+            or other.max_ns != self.max_ns
+            or other.growth != self.growth
+        ):
+            raise MeasurementError("histograms have different binnings")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (linear within the hit bin)."""
+        if not 0.0 <= q <= 100.0:
+            raise MeasurementError(f"percentile must be in [0, 100], got {q}")
+        if self.total == 0:
+            raise MeasurementError("empty histogram")
+        target = q / 100.0 * self.total
+        running = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if running + count >= target:
+                lo, hi = self._bin_bounds(index)
+                inside = max(0.0, min(1.0, (target - running) / count))
+                return lo + (hi - lo) * inside
+            running += count
+        lo, hi = self._bin_bounds(len(self.counts) - 1)
+        return hi
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative quantile error from binning (growth − 1)."""
+        return self.growth - 1.0
+
+    @property
+    def memory_bins(self) -> int:
+        """Number of bins held (fixed at construction)."""
+        return len(self.counts)
+
+    def render(self, width: int = 50, max_rows: int = 16) -> str:
+        """ASCII bar chart of the occupied region of the histogram."""
+        occupied = [
+            (index, count)
+            for index, count in enumerate(self.counts)
+            if count > 0
+        ]
+        if not occupied:
+            return "(empty histogram)"
+        stride = max(1, len(occupied) // max_rows)
+        peak = max(count for __, count in occupied)
+        lines = []
+        for row_start in range(0, len(occupied), stride):
+            chunk = occupied[row_start:row_start + stride]
+            count = sum(c for __, c in chunk)
+            lo = self._bin_bounds(chunk[0][0])[0]
+            hi = self._bin_bounds(chunk[-1][0])[1]
+            bar = "#" * max(1, int(count / peak / stride * width))
+            lines.append(f"{lo:>9.0f}-{hi:<9.0f} {count:>8} {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Latency statistics.
+
+The paper reports average and tail (P999) latency throughout (Figure 3);
+:class:`LatencyStats` bundles both plus the usual distribution summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["percentile", "LatencyStats"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``samples`` (linear interpolation)."""
+    if len(samples) == 0:
+        raise MeasurementError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise MeasurementError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set (all values in ns)."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    p999: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        if len(samples) == 0:
+            raise MeasurementError("cannot summarize an empty sample set")
+        data = np.asarray(samples, dtype=float)
+        p50, p99, p999 = np.percentile(data, [50.0, 99.0, 99.9])
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            p50=float(p50),
+            p99=float(p99),
+            p999=float(p999),
+            minimum=float(data.min()),
+            maximum=float(data.max()),
+            std=float(data.std()),
+        )
+
+    def mean_confidence_ns(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI on the mean."""
+        if self.count < 2:
+            return float("inf")
+        return z * self.std / (self.count ** 0.5)
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f}ns p50={self.p50:.1f}ns "
+            f"p99={self.p99:.1f}ns p999={self.p999:.1f}ns max={self.maximum:.1f}ns"
+        )

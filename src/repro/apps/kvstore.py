@@ -1,0 +1,211 @@
+"""A key-value server's GET path on the chiplet network.
+
+One GET request:
+
+1. **ingress** — the request lands from the NIC (fixed device-path cost);
+2. **index walk** — ``index_depth`` *dependent* DRAM reads (hash bucket →
+   entry chain), each a real transaction through the fabric — this is the
+   pointer-chase-shaped part that eats the chiplet network's latency;
+3. **value fetch** — one read of ``value_bytes`` from the value's memory
+   tier (local DRAM or CXL);
+4. **egress** — response back out through the NIC path.
+
+Requests arrive Poisson at the offered QPS and are served by a bounded
+worker pool on one chiplet. Everything queues on the same simulated fabric
+background streams use, so colocated bandwidth hogs inflate exactly the
+tail the paper's sub-microsecond motivation cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import LatencyStats
+from repro.core.loadgen import ClosedLoopIssuer
+from repro.errors import ConfigurationError
+from repro.platform.numa import Position
+from repro.platform.topology import Platform
+from repro.sim.engine import Environment, Event, Resource
+from repro.sim.rng import SplitRng
+from repro.transport.message import OpKind, Transaction
+from repro.transport.path import PathResolver
+from repro.transport.transaction import TransactionExecutor
+from repro.units import CACHELINE
+
+__all__ = ["KvWorkload", "KvServerModel", "ServiceReport"]
+
+
+@dataclass(frozen=True)
+class KvWorkload:
+    """A GET-heavy workload description."""
+
+    qps: float
+    requests: int = 600
+    index_depth: int = 2
+    value_bytes: int = 256
+    value_tier: str = "dram"        # "dram" or "cxl"
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ConfigurationError("QPS must be positive")
+        if self.requests < 10:
+            raise ConfigurationError("need at least 10 requests")
+        if self.index_depth < 1:
+            raise ConfigurationError("index depth must be >= 1")
+        if self.value_bytes < 1:
+            raise ConfigurationError("value size must be positive")
+        if self.value_tier not in ("dram", "cxl"):
+            raise ConfigurationError("value tier must be 'dram' or 'cxl'")
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Request-latency outcome of one run."""
+
+    workload: KvWorkload
+    latency: LatencyStats
+    achieved_qps: float
+
+    def meets_slo(self, p99_us: float) -> bool:
+        """True when the P99 latency is within the SLO (microseconds)."""
+        return self.latency.p99 <= p99_us * 1e3
+
+
+class KvServerModel:
+    """A KV server pinned to one chiplet of the platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        server_ccd: int = 0,
+        workers: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if server_ccd not in platform.ccds:
+            raise ConfigurationError(f"unknown CCD {server_ccd}")
+        cores = platform.cores_of_ccd(server_ccd)
+        if workers < 1 or workers > len(cores):
+            raise ConfigurationError(
+                f"workers must be in [1, {len(cores)}]"
+            )
+        self.platform = platform
+        self.server_ccd = server_ccd
+        self.worker_cores = [core.core_id for core in cores[:workers]]
+        self.seed = seed
+
+    # The NIC path cost of one ingress or egress crossing: hub + RC + P
+    # Link one way (requests are small; serialization is negligible).
+    def _nic_oneway_ns(self) -> float:
+        lat = self.platform.spec.latency
+        return lat.io_hub_ns + lat.root_complex_ns + lat.p_link_ns
+
+    def serve(
+        self,
+        workload: KvWorkload,
+        background_cores: Optional[List[int]] = None,
+        background_rate_gbps: Optional[float] = None,
+    ) -> ServiceReport:
+        """Run the workload; optionally colocate a streaming background.
+
+        ``background_rate_gbps=None`` with ``background_cores`` set runs the
+        background unthrottled (the noisy neighbour); a number paces it
+        (what a traffic manager grant would enforce).
+        """
+        env = Environment()
+        resolver = PathResolver(env, self.platform, seed=self.seed)
+        executor = TransactionExecutor(env)
+        rng = SplitRng(self.seed).stream("kv-arrivals")
+
+        near = sorted(
+            u.umc_id
+            for u in self.platform.umcs_at(self.server_ccd, Position.NEAR)
+        ) or sorted(self.platform.umcs)
+        index_paths = {
+            core: resolver.dram_path(core, near[i % len(near)])
+            for i, core in enumerate(self.worker_cores)
+        }
+        if workload.value_tier == "cxl":
+            if not self.platform.cxl_devices:
+                raise ConfigurationError(
+                    f"{self.platform.name} has no CXL tier for values"
+                )
+            value_paths = {
+                core: resolver.cxl_path(
+                    core, i % len(self.platform.cxl_devices),
+                    size_bytes=workload.value_bytes,
+                )
+                for i, core in enumerate(self.worker_cores)
+            }
+        else:
+            value_paths = {
+                core: resolver.dram_path(
+                    core, near[(i + 1) % len(near)],
+                    size_bytes=workload.value_bytes,
+                )
+                for i, core in enumerate(self.worker_cores)
+            }
+
+        if background_cores:
+            paths = {
+                i: resolver.dram_path(core, near[i % len(near)])
+                for i, core in enumerate(background_cores)
+            }
+            background = ClosedLoopIssuer(
+                env, TransactionExecutor(env),
+                path_of_worker=lambda w: paths[w],
+                op=OpKind.READ,
+                workers=len(background_cores),
+                window=self.platform.spec.bandwidth.mlp_read,
+                count_per_worker=1_000_000,
+                rate_gbps=background_rate_gbps,
+            )
+            background.start()
+
+        pool = Resource(env, capacity=len(self.worker_cores))
+        latencies: List[float] = []
+        done_at: List[float] = [0.0]
+        all_served = env.event()
+
+        def handle(arrival_index: int) -> Generator[Event, None, None]:
+            start = env.now
+            with pool.request() as grant:
+                yield grant
+                core = self.worker_cores[
+                    arrival_index % len(self.worker_cores)
+                ]
+                yield env.timeout(self._nic_oneway_ns())       # ingress
+                for __ in range(workload.index_depth):          # index walk
+                    txn = Transaction(OpKind.READ, CACHELINE)
+                    yield env.process(
+                        executor.execute(txn, index_paths[core])
+                    )
+                txn = Transaction(OpKind.READ, workload.value_bytes)
+                yield env.process(executor.execute(txn, value_paths[core]))
+                yield env.timeout(self._nic_oneway_ns())       # egress
+            latencies.append(env.now - start)
+            done_at[0] = max(done_at[0], env.now)
+            if len(latencies) == workload.requests:
+                all_served.succeed()
+
+        def arrivals() -> Generator[Event, None, None]:
+            interval = 1e9 / workload.qps
+            for index in range(workload.requests):
+                yield env.timeout(float(rng.exponential(interval)))
+                env.process(handle(index))
+
+        env.process(arrivals())
+        # Run until the last request completes; the (possibly endless)
+        # background issuer keeps generating events past this point, so
+        # never drain the whole queue.
+        env.run(all_served)
+        if not latencies:
+            raise ConfigurationError("no requests completed")
+        achieved = len(latencies) / done_at[0] * 1e9 if done_at[0] else 0.0
+        return ServiceReport(
+            workload,
+            LatencyStats.from_samples(np.asarray(latencies)),
+            achieved_qps=float(achieved),
+        )

@@ -1,0 +1,300 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro table2 --platform 9634
+    python -m repro table3
+    python -m repro fig4 --platform 7302
+    python -m repro fig6
+    python -m repro suite --platform synthetic
+    python -m repro os-scaling
+    python -m repro accel
+    python -m repro devtree --platform 9634
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.platform.presets import epyc_7302, epyc_9634, synthetic_ucie
+from repro.platform.topology import Platform
+
+__all__ = ["main", "build_parser"]
+
+_PLATFORMS = {
+    "7302": epyc_7302,
+    "9634": epyc_9634,
+    "synthetic": synthetic_ucie,
+}
+
+
+def _platforms_for(name: str) -> List[Platform]:
+    if name == "all":
+        return [epyc_7302(), epyc_9634()]
+    try:
+        return [_PLATFORMS[name]()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown platform {name!r} (choose from "
+            f"{', '.join(sorted(_PLATFORMS))}, all)"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Server Chiplet Networking (HotNets '25) reproduction — "
+            "regenerate the paper's tables and figures from the simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str, platform_default: str = "all"):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--platform",
+            default=platform_default,
+            help=f"7302, 9634, synthetic, or all (default {platform_default})",
+        )
+        cmd.add_argument(
+            "--seed", type=int, default=0, help="simulation seed (default 0)"
+        )
+        return cmd
+
+    add("table1", "hardware specifications")
+    table2_cmd = add("table2", "data-path latency breakdown")
+    table2_cmd.add_argument(
+        "--iterations", type=int, default=2000,
+        help="pointer-chase iterations per point",
+    )
+    add("table3", "max bandwidth by sender scope")
+    fig3_cmd = add("fig3", "latency vs offered load (DES sweep)")
+    fig3_cmd.add_argument(
+        "--transactions", type=int, default=800,
+        help="transactions per core per load point",
+    )
+    fig3_cmd.add_argument(
+        "--csv", default=None, metavar="DIR",
+        help="also write one CSV per panel/op into DIR",
+    )
+    add("fig4", "bandwidth partitioning cases")
+    add("fig5", "bandwidth-harvesting timelines", platform_default="9634")
+    add("fig6", "read/write interference knees", platform_default="9634")
+    add("suite", "full cross-platform characterization + guidelines")
+    add("os-scaling", "shared-memory vs multikernel scaling (§4 #2)")
+    accel_cmd = add(
+        "accel", "accelerator dispatch protection (§4 #4)",
+        platform_default="9634",
+    )
+    accel_cmd.add_argument("--jobs", type=int, default=8)
+    add("devtree", "chiplet-net device tree export (§4 #1)")
+    add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
+    add("collective", "all-reduce algorithm costs across chiplets (§4 #6)")
+    add("noc-routing", "buffered vs bufferless NoC routing (§2.3)")
+    add("core-to-core", "cacheline handoff latency matrix")
+    add("patterns", "access-pattern bandwidth matrix (§3.1)")
+    all_cmd = add("all", "regenerate every table and figure in one report")
+    all_cmd.add_argument(
+        "--quality", default="quick", choices=("quick", "full"),
+        help="DES sample counts: quick (~30 s) or full (minutes)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: run one subcommand and print its artifact."""
+    args = build_parser().parse_args(argv)
+    out: List[str] = []
+
+    if args.command == "table1":
+        from repro.experiments import table1
+
+        out.append(table1.render(table1.run()))
+
+    elif args.command == "table2":
+        from repro.experiments import table2
+
+        rows = {
+            platform.name: table2.run(
+                platform, iterations=args.iterations, seed=args.seed
+            )
+            for platform in _platforms_for(args.platform)
+        }
+        out.append(table2.render(rows))
+
+    elif args.command == "table3":
+        from repro.experiments import table3
+
+        results = {
+            platform.name: table3.run(platform, seed=args.seed)
+            for platform in _platforms_for(args.platform)
+        }
+        out.append(table3.render(results))
+
+    elif args.command == "fig3":
+        from repro.experiments import fig3
+        from repro.transport.message import OpKind
+
+        sweeps = []
+        for platform in _platforms_for(args.platform):
+            for config in fig3.panel_configs(platform):
+                for op in (OpKind.READ, OpKind.NT_WRITE):
+                    sweeps.append(
+                        fig3.run_panel(
+                            platform, config, op,
+                            transactions_per_core=args.transactions,
+                            seed=args.seed,
+                        )
+                    )
+        out.append(fig3.render(sweeps))
+        if args.csv:
+            written = fig3.export_csv(sweeps, args.csv)
+            out.append("wrote: " + ", ".join(written))
+
+    elif args.command == "fig4":
+        from repro.experiments import fig4
+
+        results = [fig4.run(p) for p in _platforms_for(args.platform)]
+        out.append(fig4.render(results))
+
+    elif args.command == "fig5":
+        from repro.experiments import fig5
+
+        for platform in _platforms_for(args.platform):
+            links = ["if"] + (["plink"] if platform.cxl_devices else [])
+            for link in links:
+                result = fig5.run(platform, link)
+                delay = (
+                    "n/a (oscillates)"
+                    if result.harvest_delay_s is None
+                    else f"{result.harvest_delay_s * 1e3:.0f} ms"
+                )
+                out.append(
+                    f"{platform.name} {result.scenario.name}: harvest delay "
+                    f"{delay}, in-window variation "
+                    f"{result.variation_gbps:.2f} GB/s"
+                )
+
+    elif args.command == "fig6":
+        from repro.experiments import fig6
+
+        for platform in _platforms_for(args.platform):
+            if not platform.cxl_devices:
+                continue
+            out.append(fig6.render(fig6.run(platform)))
+
+    elif args.command == "suite":
+        from repro.core.suite import CharacterizationSuite
+
+        suite = CharacterizationSuite(seed=args.seed)
+        for platform in _platforms_for(args.platform):
+            out.append(suite.run(platform).render())
+
+    elif args.command == "os-scaling":
+        from repro.experiments import os_scaling
+
+        results = {
+            platform.name: os_scaling.run(platform)
+            for platform in _platforms_for(args.platform)
+        }
+        out.append(os_scaling.render(results))
+
+    elif args.command == "accel":
+        from repro.experiments import accel_dispatch
+
+        for platform in _platforms_for(args.platform):
+            if not platform.cxl_devices:
+                continue
+            reports = accel_dispatch.compare(
+                platform, jobs=args.jobs, seed=args.seed
+            )
+            out.append(accel_dispatch.render(reports))
+
+    elif args.command == "devtree":
+        from repro.telemetry.devtree import build_devtree, render_dts
+
+        for platform in _platforms_for(args.platform):
+            out.append(render_dts(build_devtree(platform)))
+
+    elif args.command == "io-relay":
+        from repro.io.relay import render as render_relay
+        from repro.io.relay import sweep_designs
+
+        for platform in _platforms_for(args.platform):
+            out.append(render_relay(sweep_designs(platform)))
+
+    elif args.command == "collective":
+        from repro.analysis.report import render_table
+        from repro.collective import Algorithm, allreduce_time_ns, crossover_bytes
+
+        for platform in _platforms_for(args.platform):
+            rows = [
+                [
+                    n,
+                    *(
+                        f"{allreduce_time_ns(platform, n, a) / 1e3:.1f}"
+                        for a in Algorithm
+                    ),
+                ]
+                for n in (256, 4096, 65536, 1 << 20, 16 << 20)
+            ]
+            out.append(render_table(
+                ["bytes", "flat (us)", "tree (us)", "ring (us)"],
+                rows, title=f"All-reduce across chiplets ({platform.name})",
+            ))
+            out.append(
+                f"ring beats tree from {crossover_bytes(platform):.0f} bytes"
+            )
+
+    elif args.command == "noc-routing":
+        from repro.experiments import noc_routing
+
+        for platform in _platforms_for(args.platform):
+            results = {
+                lanes: noc_routing.run(platform, lanes_per_sender=lanes)
+                for lanes in (1, 4, 8)
+            }
+            out.append(noc_routing.render(results))
+
+    elif args.command == "all":
+        from repro.experiments.summary import reproduce_all
+
+        out.append(reproduce_all(quality=args.quality, seed=args.seed))
+
+    elif args.command == "patterns":
+        from repro.experiments import patterns
+
+        results = {
+            platform.name: patterns.run(platform, seed=args.seed)
+            for platform in _platforms_for(args.platform)
+        }
+        out.append(patterns.render(results))
+
+    elif args.command == "core-to-core":
+        from repro.core.coretocore import measure_matrix
+
+        for platform in _platforms_for(args.platform):
+            sample = sorted(
+                {platform.cores_of_ccx(ccx_id)[0].core_id
+                 for ccx_id in platform.ccxs}
+            )[:12]
+            matrix = measure_matrix(platform, core_ids=sample)
+            out.append(
+                f"core-to-core handoff latency (ns), {platform.name} "
+                f"(one core per CCX):\n" + matrix.heatmap()
+            )
+
+    try:
+        print("\n\n".join(out))
+    except BrokenPipeError:
+        # Downstream pager/head closed early — not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

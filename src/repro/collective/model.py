@@ -1,0 +1,152 @@
+"""Alpha-beta cost models for chiplet-level all-reduce.
+
+Parameters derive from the platform:
+
+* **alpha** — the per-step message latency between chiplets: the
+  cross-chiplet handoff cost (two IF crossings plus the worst-case mesh
+  distance between participating ports);
+* **beta** — the per-chiplet injection bandwidth: the IF link's write
+  capacity (the collective's payload leaves each chiplet through it).
+
+Costs for an all-reduce of ``n`` bytes over ``k`` chiplets:
+
+* ``FLAT``  — everyone sends to a root which reduces and broadcasts back:
+  ``2·(alpha + (k−1)·n/beta)``; the root's link serializes all traffic.
+* ``TREE``  — binomial reduce + broadcast: ``2·ceil(log2 k)·(alpha + n/beta)``.
+* ``RING``  — reduce-scatter + all-gather: ``2·(k−1)·(alpha + n/(k·beta))``;
+  bandwidth-optimal (each byte crosses each link ~2(k−1)/k times).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.platform.topology import Platform
+
+__all__ = [
+    "Algorithm",
+    "CollectiveCost",
+    "allreduce_time_ns",
+    "best_algorithm",
+    "crossover_bytes",
+]
+
+
+class Algorithm(enum.Enum):
+    """The three classic all-reduce algorithms."""
+
+    FLAT = "flat"
+    TREE = "tree"
+    RING = "ring"
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """The platform-derived alpha-beta parameters for k chiplets."""
+
+    chiplets: int
+    alpha_ns: float
+    beta_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.chiplets < 2:
+            raise ConfigurationError("a collective needs at least 2 chiplets")
+        if self.alpha_ns <= 0 or self.beta_gbps <= 0:
+            raise ConfigurationError("alpha and beta must be positive")
+
+    @classmethod
+    def for_platform(
+        cls, platform: Platform, chiplets: Optional[int] = None
+    ) -> "CollectiveCost":
+        k = chiplets if chiplets is not None else platform.spec.ccd_count
+        if not 2 <= k <= platform.spec.ccd_count:
+            raise ConfigurationError(
+                f"chiplets must be in [2, {platform.spec.ccd_count}]"
+            )
+        lat = platform.spec.latency
+        # Worst-case inter-port message latency among the participants.
+        alpha = 0.0
+        for src in range(k):
+            for dst in range(k):
+                if src == dst:
+                    continue
+                dx, dy = platform.mesh_offset(
+                    platform.ccds[src].coord, platform.ccds[dst].coord
+                )
+                cost = (
+                    2.0 * (lat.if_link_ns + lat.ccm_ns)
+                    + lat.mesh_cost_ns(dx, dy)
+                )
+                alpha = max(alpha, cost)
+        beta = platform.spec.bandwidth.gmi_write_gbps
+        return cls(k, alpha, beta)
+
+    def time_ns(self, algorithm: Algorithm, n_bytes: float) -> float:
+        """All-reduce completion time (ns) for one algorithm."""
+        if n_bytes <= 0:
+            raise ConfigurationError("payload must be positive")
+        k = self.chiplets
+        if algorithm is Algorithm.FLAT:
+            return 2.0 * (self.alpha_ns + (k - 1) * n_bytes / self.beta_gbps)
+        if algorithm is Algorithm.TREE:
+            steps = math.ceil(math.log2(k))
+            return 2.0 * steps * (self.alpha_ns + n_bytes / self.beta_gbps)
+        return 2.0 * (k - 1) * (
+            self.alpha_ns + n_bytes / (k * self.beta_gbps)
+        )
+
+
+def allreduce_time_ns(
+    platform: Platform,
+    n_bytes: float,
+    algorithm: Algorithm,
+    chiplets: Optional[int] = None,
+) -> float:
+    """All-reduce completion time on the platform's chiplet network."""
+    return CollectiveCost.for_platform(platform, chiplets).time_ns(
+        algorithm, n_bytes
+    )
+
+
+def best_algorithm(
+    platform: Platform, n_bytes: float, chiplets: Optional[int] = None
+) -> Algorithm:
+    """The cheapest algorithm for this payload size."""
+    cost = CollectiveCost.for_platform(platform, chiplets)
+    times: Dict[Algorithm, float] = {
+        algorithm: cost.time_ns(algorithm, n_bytes)
+        for algorithm in Algorithm
+    }
+    return min(times, key=lambda a: times[a])
+
+
+def crossover_bytes(
+    platform: Platform,
+    chiplets: Optional[int] = None,
+    lo: float = 64.0,
+    hi: float = 1 << 30,
+) -> Optional[float]:
+    """Payload size where RING starts beating TREE (None if it never does).
+
+    Solved by bisection on the cost difference, which is monotone in n.
+    """
+    cost = CollectiveCost.for_platform(platform, chiplets)
+
+    def ring_wins(n: float) -> bool:
+        return cost.time_ns(Algorithm.RING, n) < cost.time_ns(Algorithm.TREE, n)
+
+    if ring_wins(lo):
+        return lo
+    if not ring_wins(hi):
+        return None
+    for __ in range(80):
+        mid = (lo + hi) / 2.0
+        if ring_wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,145 @@
+"""Closed-loop, rate-controlled load generation on the DES.
+
+The paper controls offered load by padding the instruction stream with NOPs
+(§3.4): each core keeps at most its MLP window outstanding and issues no
+faster than the target rate. :class:`ClosedLoopIssuer` models exactly that —
+``window`` outstanding transactions per worker plus a shared pacing gate —
+and collects per-transaction latency samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.analysis.stats import LatencyStats
+from repro.errors import ConfigurationError
+from repro.sim.engine import Environment, Event
+from repro.transport.message import OpKind, Transaction
+from repro.transport.path import CompiledPath
+from repro.transport.transaction import TransactionExecutor
+from repro.units import CACHELINE
+
+__all__ = ["ClosedLoopIssuer", "LoadResult"]
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one load run: latency stats plus delivered bandwidth."""
+
+    stats: LatencyStats
+    offered_gbps: Optional[float]
+    achieved_gbps: float
+    elapsed_ns: float
+
+
+class ClosedLoopIssuer:
+    """A group of workers issuing transactions over one or more paths."""
+
+    def __init__(
+        self,
+        env: Environment,
+        executor: TransactionExecutor,
+        path_of_worker: Callable[[int], CompiledPath],
+        op: OpKind,
+        workers: int,
+        window: int,
+        count_per_worker: int,
+        rate_gbps: Optional[float] = None,
+        size_bytes: int = CACHELINE,
+        warmup_fraction: float = 0.1,
+    ) -> None:
+        if workers < 1 or window < 1 or count_per_worker < 1:
+            raise ConfigurationError("workers, window, and count must be >= 1")
+        if rate_gbps is not None and rate_gbps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_gbps}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError("warmup fraction must be in [0, 1)")
+        self.env = env
+        self.executor = executor
+        self.path_of_worker = path_of_worker
+        self.op = op
+        self.workers = workers
+        self.window = window
+        self.count_per_worker = count_per_worker
+        self.size_bytes = size_bytes
+        self.warmup_fraction = warmup_fraction
+        # Shared pacing gate: the aggregate never issues faster than the
+        # offered rate (one slot every size/rate ns across all workers).
+        # None → issue as fast as the windows allow.
+        self._interval_ns = (
+            size_bytes / rate_gbps if rate_gbps is not None else None
+        )
+        self.rate_gbps = rate_gbps
+        self._next_issue_ns = 0.0
+        self._samples: List[float] = []
+        self._bytes_measured = 0
+        self._measure_start_ns: Optional[float] = None
+        self._measure_end_ns = 0.0
+
+    def _worker(self, worker_id: int) -> Generator[Event, None, None]:
+        path = self.path_of_worker(worker_id)
+        warmup = int(self.count_per_worker * self.warmup_fraction)
+        # Each worker runs `window` lanes; a lane is one outstanding slot.
+        lanes = [
+            self.env.process(self._lane(path, worker_id, lane, warmup))
+            for lane in range(self.window)
+        ]
+        yield self.env.all_of(lanes)
+
+    def _lane(
+        self, path: CompiledPath, worker_id: int, lane: int, warmup: int
+    ) -> Generator[Event, None, None]:
+        # Split the per-worker count over its lanes (remainder to lane 0).
+        base, extra = divmod(self.count_per_worker, self.window)
+        quota = base + (1 if lane < extra else 0)
+        for i in range(quota):
+            if self._interval_ns is not None:
+                # Claim the next pacing slot for the whole issuer group.
+                # Pacing must never fall behind real time, or an idle period
+                # would be followed by an artificial burst.
+                slot = max(self._next_issue_ns, self.env.now)
+                self._next_issue_ns = slot + self._interval_ns
+                if slot > self.env.now:
+                    yield self.env.timeout(slot - self.env.now)
+            txn = Transaction(
+                self.op, self.size_bytes, src_core=worker_id, flow_id=worker_id
+            )
+            done = self.env.process(self.executor.execute(txn, path))
+            yield done
+            if i >= warmup // max(1, self.window):
+                if self._measure_start_ns is None:
+                    self._measure_start_ns = txn.issued_ns
+                self._samples.append(txn.latency_ns)
+                self._bytes_measured += txn.size_bytes
+                self._measure_end_ns = self.env.now
+
+    def start(self):
+        """Start all workers; returns the event that fires when all finish.
+
+        Use this to compose several issuers (e.g. a read stream and a write
+        stream) in one environment, then ``env.run(env.all_of([...]))``.
+        """
+        return self.env.all_of(
+            [self.env.process(self._worker(w)) for w in range(self.workers)]
+        )
+
+    def result(self) -> LoadResult:
+        """Summarize after the simulation has run (see :meth:`start`)."""
+        if not self._samples:
+            raise ConfigurationError(
+                "no samples collected (count too small for the warmup fraction?)"
+            )
+        start = self._measure_start_ns or 0.0
+        elapsed = max(self._measure_end_ns - start, 1e-9)
+        return LoadResult(
+            stats=LatencyStats.from_samples(self._samples),
+            offered_gbps=self.rate_gbps,
+            achieved_gbps=self._bytes_measured / elapsed,
+            elapsed_ns=elapsed,
+        )
+
+    def run(self) -> LoadResult:
+        """Start all workers, run the DES to completion, summarize."""
+        self.env.run(self.start())
+        return self.result()

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ChipletError` so callers can
+catch everything with a single ``except`` clause while still being able to
+distinguish configuration problems from runtime simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ChipletError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ChipletError):
+    """A platform or experiment was configured inconsistently."""
+
+
+class TopologyError(ChipletError):
+    """A requested route or component does not exist in the platform graph."""
+
+
+class SimulationError(ChipletError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ConvergenceError(ChipletError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class MeasurementError(ChipletError):
+    """A measurement was requested on insufficient or invalid samples."""

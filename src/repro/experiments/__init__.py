@@ -1,0 +1,41 @@
+"""One module per table/figure of the paper's evaluation (§3).
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the paper-style text artifact. The benchmark
+harness under ``benchmarks/`` calls these and checks the shape criteria of
+DESIGN.md §6; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    accel_dispatch,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    noc_routing,
+    os_scaling,
+    patterns,
+    summary,
+    table1,
+    table2,
+    table3,
+    validation,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ablations",
+    "accel_dispatch",
+    "os_scaling",
+    "noc_routing",
+    "patterns",
+    "summary",
+    "validation",
+]

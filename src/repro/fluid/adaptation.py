@@ -1,0 +1,121 @@
+"""Rate adaptation dynamics: how fast a flow reaches its new allocation.
+
+Figure 5 shows that "bandwidth harvesting does not happen instantly": when a
+competing flow throttles, the unthrottled flow takes ≈100 ms to absorb the
+freed Infinity Fabric bandwidth and ≈500 ms on the P Link (EPYC 9634). The
+7302's IF instead shows "drastic variation", which the paper attributes to
+the intra-CC queueing module — an over-aggressive token-reclaim loop, i.e.
+an under-damped controller.
+
+The window growth of a closed-loop sender behaves like a low-order control
+loop around its steady-state allocation, so we model exactly that:
+
+* :class:`InstantAdaptation` — idealized (no dynamics);
+* :class:`FirstOrderAdaptation` — exponential approach with time constant τ
+  (the 9634's links);
+* :class:`SecondOrderAdaptation` — damped oscillator; small damping ratios
+  produce the 7302's persistent IF variation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AdaptationModel",
+    "InstantAdaptation",
+    "FirstOrderAdaptation",
+    "SecondOrderAdaptation",
+]
+
+#: Settling is conventionally measured to 90% of the step; exp(-2.3) ≈ 0.1.
+_SETTLE_FACTOR = math.log(10.0)
+
+
+class AdaptationModel(Protocol):
+    """State-ful tracker of one flow's achieved rate toward a moving target."""
+
+    def reset(self, value: float) -> None:
+        """Initialize the tracked rate."""
+
+    def step(self, target: float, dt_s: float) -> float:
+        """Advance by ``dt_s`` seconds toward ``target``; returns the rate."""
+
+
+class InstantAdaptation:
+    """No dynamics: the achieved rate equals the allocation immediately."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def reset(self, value: float) -> None:
+        """Initialize the tracked rate."""
+        self._value = value
+
+    def step(self, target: float, dt_s: float) -> float:
+        """Advance dt seconds toward target; returns the rate."""
+        self._value = target
+        return self._value
+
+
+class FirstOrderAdaptation:
+    """Exponential approach: ``dx/dt = (target - x) / tau``."""
+
+    def __init__(self, tau_s: float) -> None:
+        if tau_s <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau_s}")
+        self.tau_s = tau_s
+        self._value = 0.0
+
+    @classmethod
+    def from_settling_time(cls, settle_s: float) -> "FirstOrderAdaptation":
+        """Build from a 90%-settling time (Figure 5's "takes roughly X ms")."""
+        return cls(settle_s / _SETTLE_FACTOR)
+
+    def reset(self, value: float) -> None:
+        """Initialize the tracked rate."""
+        self._value = value
+
+    def step(self, target: float, dt_s: float) -> float:
+        """Exact exponential update toward target over dt seconds."""
+        blend = 1.0 - math.exp(-dt_s / self.tau_s)
+        self._value += (target - self._value) * blend
+        return self._value
+
+
+class SecondOrderAdaptation:
+    """Damped oscillator: ``x'' + 2ζω x' + ω²(x − target) = 0``.
+
+    ζ < 1 rings around the target; ζ ≈ 0.1-0.2 with a period of a few hundred
+    ms reproduces the 7302 IF's "drastic variation" under demand changes.
+    Semi-implicit Euler keeps the discretization stable at the simulator's
+    millisecond steps.
+    """
+
+    def __init__(self, omega_rad_s: float, zeta: float) -> None:
+        if omega_rad_s <= 0:
+            raise ConfigurationError(f"omega must be positive, got {omega_rad_s}")
+        if zeta <= 0:
+            raise ConfigurationError(f"zeta must be positive, got {zeta}")
+        self.omega = omega_rad_s
+        self.zeta = zeta
+        self._value = 0.0
+        self._velocity = 0.0
+
+    def reset(self, value: float) -> None:
+        """Initialize the tracked rate (zero velocity)."""
+        self._value = value
+        self._velocity = 0.0
+
+    def step(self, target: float, dt_s: float) -> float:
+        """Semi-implicit Euler update toward target over dt seconds."""
+        accel = (
+            -2.0 * self.zeta * self.omega * self._velocity
+            - self.omega**2 * (self._value - target)
+        )
+        self._velocity += accel * dt_s
+        self._value += self._velocity * dt_s
+        return max(0.0, self._value)

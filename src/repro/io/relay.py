@@ -1,0 +1,206 @@
+"""The NIC→DRAM→NVMe relay under three I/O-stack designs.
+
+The data path of a storage server ingesting from the network:
+
+* packets DMA from the NIC into host staging buffers (write direction of
+  the chiplet network), and
+* the staged data is read back out and written to the SSD array.
+
+Three stack designs, in increasing awareness of the chiplet network:
+
+* :attr:`RelayDesign.CPU_COPY` — the conventional stack: a kernel thread on
+  one compute chiplet copies every byte (NIC buffer → page cache → block
+  layer). All traffic funnels through that chiplet's GMI port, the paper's
+  "more bandwidth than a compute chiplet" bottleneck.
+* :attr:`RelayDesign.SINGLE_DOMAIN_DMA` — zero-copy DMA, but staging
+  buffers allocated naively in one NUMA quadrant: the quadrant's memory
+  channels bind.
+* :attr:`RelayDesign.CHANNEL_AWARE` — the §4 #3 proposal: staging spread
+  across every memory domain, flows orchestrated end-to-end; only the
+  external devices or the NoC itself can bind.
+
+Everything host-side reuses the platform's calibrated channels; the NIC and
+SSD array are experiment-level devices with their own capacities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.fabric import FabricModel
+from repro.errors import ConfigurationError
+from repro.fluid.solver import Channel, FluidFlow, solve
+from repro.platform.numa import NpsMode
+from repro.platform.topology import Platform
+
+__all__ = [
+    "NicSpec",
+    "SsdArraySpec",
+    "RelayDesign",
+    "RelayResult",
+    "relay_throughput",
+    "sweep_designs",
+    "render",
+]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """The inter-host side: one high-speed Ethernet port."""
+
+    name: str = "400GbE"
+    gbps: float = 50.0          # 400 Gb/s line rate = 50 GB/s of payload
+
+    def __post_init__(self) -> None:
+        if self.gbps <= 0:
+            raise ConfigurationError("NIC rate must be positive")
+
+
+@dataclass(frozen=True)
+class SsdArraySpec:
+    """The storage side: an array of NVMe SSDs."""
+
+    count: int = 8
+    write_gbps_each: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or self.write_gbps_each <= 0:
+            raise ConfigurationError("SSD array must have positive capacity")
+
+    @property
+    def write_gbps(self) -> float:
+        return self.count * self.write_gbps_each
+
+
+class RelayDesign(enum.Enum):
+    """The three I/O-stack designs the relay study compares."""
+
+    CPU_COPY = "cpu-copy"
+    SINGLE_DOMAIN_DMA = "single-domain-dma"
+    CHANNEL_AWARE = "channel-aware"
+
+
+@dataclass(frozen=True)
+class RelayResult:
+    """Sustained relay throughput and the channel that binds it."""
+
+    platform: str
+    design: RelayDesign
+    throughput_gbps: float
+    bottleneck: str
+    nic: NicSpec
+    ssds: SsdArraySpec
+
+    @property
+    def external_bound(self) -> bool:
+        """True when an external device (NIC/SSD) binds — the ideal."""
+        return self.bottleneck in ("nic", "ssd-array")
+
+
+def _staging_channels(
+    fabric: FabricModel, umc_ids: List[int], direction: str
+) -> List[Tuple[Channel, float]]:
+    share = 1.0 / len(umc_ids)
+    return [
+        (fabric.channel(f"umc{umc_id}:{direction}"), share)
+        for umc_id in umc_ids
+    ]
+
+
+def relay_throughput(
+    platform: Platform,
+    design: RelayDesign,
+    nic: NicSpec = NicSpec(),
+    ssds: SsdArraySpec = SsdArraySpec(),
+    copy_ccd: int = 0,
+) -> RelayResult:
+    """Solve the relay's steady-state throughput under one design."""
+    fabric = FabricModel(platform)
+    nic_channel = Channel("nic", nic.gbps)
+    ssd_channel = Channel("ssd-array", ssds.write_gbps)
+
+    # The relay moves each byte twice over the chiplet network: NIC→staging
+    # (write direction) and staging→SSD (read direction on memory, write on
+    # the device path). One fluid flow with every crossed channel at weight
+    # 1 models the byte stream end to end.
+    flow = FluidFlow("relay", min(nic.gbps, ssds.write_gbps) * 2, elastic=True)
+    flow.add(nic_channel)
+    flow.add(ssd_channel)
+    flow.add(fabric.channel("noc:w"))   # NIC DMA into memory
+    flow.add(fabric.channel("noc:r"))   # staging read-out toward the SSDs
+
+    if design is RelayDesign.CPU_COPY:
+        # Every byte crosses the copy chiplet twice: read in, write out.
+        flow.add(fabric.channel(f"gmi{copy_ccd}:r"))
+        flow.add(fabric.channel(f"gmi{copy_ccd}:w"))
+        staging = fabric.umc_ids_for_nps(copy_ccd, NpsMode.NPS1)
+    elif design is RelayDesign.SINGLE_DOMAIN_DMA:
+        staging = fabric.umc_ids_for_nps(copy_ccd, NpsMode.NPS4)
+    elif design is RelayDesign.CHANNEL_AWARE:
+        staging = fabric.umc_ids_for_nps(copy_ccd, NpsMode.NPS1)
+    else:
+        raise ConfigurationError(f"unknown design {design!r}")
+
+    for channel, weight in _staging_channels(fabric, staging, "w"):
+        flow.add(channel, weight)
+    for channel, weight in _staging_channels(fabric, staging, "r"):
+        flow.add(channel, weight)
+
+    allocation = solve([flow])
+    throughput = allocation["relay"]
+
+    # Identify the binding channel: the one with the least slack.
+    slack: Dict[str, float] = {}
+    for channel, weight in flow.path:
+        load = throughput * weight
+        slack[channel.name] = channel.capacity_gbps - load
+    bottleneck = min(slack, key=lambda name: slack[name])
+    # Normalize umc names to their domain for readability.
+    label = bottleneck
+    if bottleneck.startswith("umc"):
+        label = "staging-domain"
+    elif bottleneck.startswith("gmi"):
+        label = "compute-chiplet"
+    elif bottleneck.startswith("noc"):
+        label = "noc"
+    return RelayResult(
+        platform.name, design, throughput, label, nic, ssds
+    )
+
+
+def sweep_designs(
+    platform: Platform,
+    nic: NicSpec = NicSpec(),
+    ssds: SsdArraySpec = SsdArraySpec(),
+) -> Dict[RelayDesign, RelayResult]:
+    """All three stack designs on one platform."""
+    return {
+        design: relay_throughput(platform, design, nic, ssds)
+        for design in RelayDesign
+    }
+
+
+def render(results: Dict[RelayDesign, RelayResult]) -> str:
+    """Render the result as an aligned paper-style text table."""
+    first = next(iter(results.values()))
+    rows = [
+        [
+            result.design.value,
+            f"{result.throughput_gbps:.1f}",
+            result.bottleneck,
+            "yes" if result.external_bound else "no",
+        ]
+        for result in results.values()
+    ]
+    return render_table(
+        ["stack design", "relay GB/s", "bottleneck", "device-bound?"],
+        rows,
+        title=(
+            f"NIC→DRAM→NVMe relay on {first.platform} "
+            f"({first.nic.name} {first.nic.gbps:.0f} GB/s in, "
+            f"{first.ssds.count}x NVMe {first.ssds.write_gbps:.0f} GB/s out)"
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Token-bucket rate limiting, the enforcement half of the traffic manager.
+
+Modeled on OS-level traffic shapers (Carousel, SENIC — the paper's §3.4
+cites them as the design to port into chiplet networking): a bucket refills
+at the granted rate and each transaction must draw its size before issuing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A deterministic token bucket (bytes at GB/s, time in ns)."""
+
+    def __init__(self, rate_gbps: float, burst_bytes: float) -> None:
+        if rate_gbps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_gbps}")
+        if burst_bytes <= 0:
+            raise ConfigurationError(f"burst must be positive, got {burst_bytes}")
+        self.rate_gbps = rate_gbps
+        self.burst_bytes = burst_bytes
+        self._tokens = burst_bytes
+        self._last_ns = 0.0
+
+    def _refill(self, now_ns: float) -> None:
+        if now_ns < self._last_ns:
+            raise ConfigurationError("time went backwards in TokenBucket")
+        self._tokens = min(
+            self.burst_bytes,
+            self._tokens + (now_ns - self._last_ns) * self.rate_gbps,
+        )
+        self._last_ns = now_ns
+
+    def available_bytes(self, now_ns: float) -> float:
+        """Tokens available after refilling to now_ns."""
+        self._refill(now_ns)
+        return self._tokens
+
+    def consume(self, now_ns: float, size_bytes: float) -> float:
+        """Draw ``size_bytes``; returns the wait (ns) before the send may go.
+
+        The bucket is allowed to go negative (the transaction is committed);
+        the returned wait is how long the sender must stall so the long-run
+        rate never exceeds the grant.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError(f"size must be positive, got {size_bytes}")
+        self._refill(now_ns)
+        self._tokens -= size_bytes
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate_gbps
+
+    def set_rate(self, rate_gbps: float) -> None:
+        """Re-program the limiter (the manager does this on re-allocation)."""
+        if rate_gbps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate_gbps}")
+        self.rate_gbps = rate_gbps

@@ -1,0 +1,68 @@
+"""Cache hierarchy model for pointer-chase level resolution.
+
+The paper measures per-level latency "by configuring the pointer-chasing mode
+of our utility and gradually increasing the working set" (Table 2): dependent
+loads defeat prefetching, so the measured latency is that of the smallest
+cache level that holds the working set. This module implements exactly that
+resolution rule plus the per-level latencies from the platform calibration.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+from repro.platform.topology import Platform
+
+__all__ = ["MemoryLevel", "CacheHierarchy"]
+
+
+class MemoryLevel(enum.Enum):
+    """Where a pointer-chase working set is served from."""
+
+    L1 = "L1"
+    L2 = "L2"
+    L3 = "L3"
+    DRAM = "DRAM"
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 plus the CCX-shared L3 slice of a platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        spec = platform.spec
+        self.l1_bytes = spec.l1_bytes
+        self.l2_bytes = spec.l2_bytes
+        self.l3_slice_bytes = spec.l3_per_ccx_bytes
+
+    def level_for(self, working_set_bytes: int) -> MemoryLevel:
+        """The level a dependent-load chain over ``working_set_bytes`` hits."""
+        if working_set_bytes <= 0:
+            raise ConfigurationError(
+                f"working set must be positive, got {working_set_bytes}"
+            )
+        if working_set_bytes <= self.l1_bytes:
+            return MemoryLevel.L1
+        if working_set_bytes <= self.l2_bytes:
+            return MemoryLevel.L2
+        if working_set_bytes <= self.l3_slice_bytes:
+            return MemoryLevel.L3
+        return MemoryLevel.DRAM
+
+    def latency_ns(self, level: MemoryLevel) -> float:
+        """Unloaded load-to-use latency of a cache level.
+
+        DRAM latency depends on the target DIMM's mesh position; use
+        :meth:`repro.platform.topology.Platform.dram_latency_at` for it.
+        """
+        lat = self.platform.spec.latency
+        if level is MemoryLevel.L1:
+            return lat.l1_ns
+        if level is MemoryLevel.L2:
+            return lat.l2_ns
+        if level is MemoryLevel.L3:
+            return lat.l3_ns
+        raise ConfigurationError(
+            "DRAM latency is position-dependent; query the platform instead"
+        )

@@ -1,0 +1,69 @@
+"""Unified memory controller service model.
+
+A UMC is the last queued stage before DRAM: it serializes cacheline transfers
+at the per-channel rate (21.1/19.0 GB/s read/write on the 7302, 34.9/28.3 on
+the 9634 — §3.3) and each access additionally suffers the DRAM timing jitter
+of :class:`~repro.memory.dram.DramTimingModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.memory.dram import DramTimingModel
+from repro.noc.arbiter import LinkArbiter
+from repro.platform.interconnect import LinkKind, LinkSpec
+from repro.sim.engine import Environment, Event
+
+__all__ = ["UmcServer"]
+
+
+class UmcServer:
+    """DES element: one memory channel (UMC + its DIMM)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        read_gbps: float,
+        write_gbps: float,
+        timing: Optional[DramTimingModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        banks: int = 16,
+    ) -> None:
+        spec = LinkSpec(
+            name, LinkKind.GMI, latency_ns=0.0,
+            read_gbps=read_gbps, write_gbps=write_gbps,
+        )
+        # A DRAM channel overlaps accesses across banks; `banks` parallel
+        # servers sharing the channel rate capture that pipelining.
+        self.arbiter = LinkArbiter(env, spec, lanes=banks)
+        self.env = env
+        self.name = name
+        self.timing = timing
+        self.rng = rng
+        self.accesses = 0
+
+    def access(self, size_bytes: int, is_write: bool) -> Generator[Event, None, None]:
+        """DES process fragment: serve one access (queueing + jitter).
+
+        Timing jitter (refresh windows, bank conflicts) extends the *service*
+        while the bank is held, so a stall delays everything queued behind it
+        — the mechanism that amplifies P999 under load (Figure 3's tails).
+        """
+        self.accesses += 1
+        direction = self.arbiter.write_dir if is_write else self.arbiter.read_dir
+        with direction.resource.request() as grant:
+            yield grant
+            service = direction.service_ns(size_bytes)
+            if self.timing is not None and self.rng is not None:
+                service += self.timing.sample_extra_ns(self.rng)
+            direction.busy_ns += service
+            direction.bytes_served += size_bytes
+            yield self.env.timeout(service)
+
+    def achieved_gbps(self, is_write: bool, elapsed_ns: float) -> float:
+        """Average delivered bandwidth on one direction."""
+        return self.arbiter.achieved_gbps(is_write, elapsed_ns)

@@ -1,0 +1,24 @@
+"""Network-on-chip substrate of the I/O die.
+
+The I/O chiplet's internal interconnect (paper §2.2, Figure 2): a mesh of
+switching stops traversed by XY dimension-order routing, token-based traffic
+control modules at the compute chiplets (the "queueless structure like
+Phantom Queue" of §3.2), and FIFO traffic-oblivious link arbitration (the
+mechanism behind §3.5's sender-driven bandwidth partitioning).
+"""
+
+from repro.noc.arbiter import LinkArbiter
+from repro.noc.bufferless import BufferlessMeshNetwork
+from repro.noc.flowcontrol import TokenPool, ccx_token_pool, ccd_token_pool
+from repro.noc.mesh import Mesh
+from repro.noc.router import MeshNetwork
+
+__all__ = [
+    "LinkArbiter",
+    "BufferlessMeshNetwork",
+    "TokenPool",
+    "ccx_token_pool",
+    "ccd_token_pool",
+    "Mesh",
+    "MeshNetwork",
+]

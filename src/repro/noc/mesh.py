@@ -1,0 +1,92 @@
+"""Mesh geometry and XY dimension-order routing.
+
+The I/O die's NoC is modelled as a ``width × height`` grid of switching
+stops. Routes follow XY dimension-order routing (x first, then y), which is
+deterministic and deadlock-free — matching the paper's observation that the
+transaction layer "deterministically routes data FLITs from the source to the
+destination" (§1).
+
+Hop costs are direction-dependent (``x_hop_ns`` / ``y_hop_ns``) and a
+``turn_ns`` penalty applies when the route changes dimension; a negative
+penalty models express diagonal channels (the 9634's diagonal DIMM is
+*faster* than its horizontal one in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+
+Coord = Tuple[int, int]
+
+__all__ = ["Mesh"]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A rectangular mesh of switching stops with XY routing."""
+
+    width: int
+    height: int
+    x_hop_ns: float
+    y_hop_ns: float
+    turn_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise TopologyError(
+                f"mesh must be at least 1x1, got {self.width}x{self.height}"
+            )
+
+    def contains(self, coord: Coord) -> bool:
+        """True when the coordinate lies inside the grid."""
+        x, y = coord
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def _check(self, coord: Coord) -> None:
+        if not self.contains(coord):
+            raise TopologyError(
+                f"coordinate {coord} outside {self.width}x{self.height} mesh"
+            )
+
+    def route(self, src: Coord, dst: Coord) -> List[Coord]:
+        """XY route from ``src`` to ``dst``, inclusive of both endpoints."""
+        self._check(src)
+        self._check(dst)
+        path = [src]
+        x, y = src
+        step_x = 1 if dst[0] > x else -1
+        while x != dst[0]:
+            x += step_x
+            path.append((x, y))
+        step_y = 1 if dst[1] > y else -1
+        while y != dst[1]:
+            y += step_y
+            path.append((x, y))
+        return path
+
+    def hop_count(self, src: Coord, dst: Coord) -> int:
+        """Number of switching hops (Manhattan distance)."""
+        self._check(src)
+        self._check(dst)
+        return abs(dst[0] - src[0]) + abs(dst[1] - src[1])
+
+    def turns(self, src: Coord, dst: Coord) -> int:
+        """Number of dimension changes on the XY route (0 or 1)."""
+        self._check(src)
+        self._check(dst)
+        return 1 if (src[0] != dst[0] and src[1] != dst[1]) else 0
+
+    def cost_ns(self, src: Coord, dst: Coord) -> float:
+        """Total switching latency of the XY route."""
+        self._check(src)
+        self._check(dst)
+        dx = abs(dst[0] - src[0])
+        dy = abs(dst[1] - src[1])
+        return (
+            dx * self.x_hop_ns
+            + dy * self.y_hop_ns
+            + self.turns(src, dst) * self.turn_ns
+        )

@@ -1,0 +1,100 @@
+"""Hop-by-hop mesh network simulation.
+
+The transaction-level experiments collapse a route's switching hops into a
+single latency term for speed (see :mod:`repro.transport.path`). This module
+keeps the *detailed* alternative: a full mesh of routers with per-hop output
+serializers, used to validate the collapsed model (they agree on unloaded
+latency by construction) and to study in-mesh contention directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Tuple
+
+from repro.errors import TopologyError
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Environment, Event, Resource
+
+Coord = Tuple[int, int]
+
+__all__ = ["MeshNetwork"]
+
+
+@dataclass
+class _Port:
+    """One router output port: a serializer plus the wire to the next stop."""
+
+    resource: Resource
+    hop_ns: float
+    gbps: float
+    bytes_forwarded: int = 0
+
+
+class MeshNetwork:
+    """A mesh of routers with XY routing and per-port FIFO serialization."""
+
+    def __init__(
+        self,
+        env: Environment,
+        mesh: Mesh,
+        port_gbps: float,
+        lanes_per_port: int = 1,
+    ) -> None:
+        self.env = env
+        self.mesh = mesh
+        self.port_gbps = port_gbps
+        self._ports: Dict[Tuple[Coord, Coord], _Port] = {}
+        for x in range(mesh.width):
+            for y in range(mesh.height):
+                here = (x, y)
+                for neighbor in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                    if mesh.contains(neighbor):
+                        hop_ns = (
+                            mesh.x_hop_ns
+                            if neighbor[0] != x
+                            else mesh.y_hop_ns
+                        )
+                        self._ports[(here, neighbor)] = _Port(
+                            Resource(env, capacity=lanes_per_port),
+                            hop_ns,
+                            port_gbps,
+                        )
+
+    def port(self, src: Coord, dst: Coord) -> _Port:
+        """The output port from one stop to an adjacent stop."""
+        try:
+            return self._ports[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no port from {src} to {dst}") from None
+
+    def send(
+        self, src: Coord, dst: Coord, size_bytes: int
+    ) -> Generator[Event, None, float]:
+        """DES process: forward one packet along the XY route.
+
+        Returns the network traversal latency (ns) experienced by the packet.
+        """
+        start = self.env.now
+        path = self.mesh.route(src, dst)
+        hops = list(zip(path, path[1:]))
+        previous_axis = None
+        for here, nxt in hops:
+            axis = "x" if nxt[0] != here[0] else "y"
+            if previous_axis is not None and axis != previous_axis:
+                # XY routing turns at most once (x-moves precede y-moves).
+                # Express channels (negative turn_ns) cannot make the DES go
+                # backwards; they are handled analytically in Mesh.cost_ns.
+                yield self.env.timeout(max(0.0, self.mesh.turn_ns))
+            previous_axis = axis
+            port = self.port(here, nxt)
+            with port.resource.request() as grant:
+                yield grant
+                service = size_bytes / port.gbps
+                port.bytes_forwarded += size_bytes
+                yield self.env.timeout(service + port.hop_ns)
+        return self.env.now - start
+
+    def total_bytes_forwarded(self) -> int:
+        """Total bytes forwarded across every port."""
+        return sum(port.bytes_forwarded for port in self._ports.values())

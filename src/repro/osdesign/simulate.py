@@ -1,0 +1,122 @@
+"""DES validation of the multikernel cost model.
+
+The analytic :class:`~repro.osdesign.model.MultikernelDesign` predicts
+visibility latency with an M/D/1 receive queue and the worst-case message
+path. This module actually *runs* the broadcast on the simulator: Poisson
+update arrivals per replica, 64 B messages through the real IF arbiters and
+mesh costs, and a single apply server per receiving kernel. The test suite
+checks the analytic model against these measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List
+
+import numpy as np
+
+from repro.analysis.stats import LatencyStats
+from repro.errors import ConfigurationError
+from repro.osdesign.model import MultikernelDesign
+from repro.platform.topology import Platform
+from repro.sim.engine import Environment, Event, Resource
+from repro.sim.rng import SplitRng
+from repro.transport.path import PathResolver
+from repro.units import CACHELINE
+
+__all__ = ["MultikernelRun", "simulate_multikernel"]
+
+
+@dataclass(frozen=True)
+class MultikernelRun:
+    """Measured behaviour of the simulated multikernel broadcast."""
+
+    offered_mops: float
+    achieved_mops: float
+    visibility: LatencyStats
+
+    @property
+    def sustainable(self) -> bool:
+        # The measurement window includes the arrival ramp and the drain of
+        # in-flight updates, so even an unloaded run reports ~0.85× offered;
+        # below 0.8× the system is genuinely shedding throughput.
+        return self.achieved_mops >= 0.8 * self.offered_mops
+
+
+def simulate_multikernel(
+    platform: Platform,
+    offered_mops: float,
+    updates: int = 400,
+    replica_ccds: int | None = None,
+    per_message_cpu_ns: float = 25.0,
+    seed: int = 0,
+) -> MultikernelRun:
+    """Run the replicated-update broadcast on the DES."""
+    if offered_mops <= 0:
+        raise ConfigurationError("offered rate must be positive")
+    design = MultikernelDesign(
+        platform, replica_ccds, per_message_cpu_ns=per_message_cpu_ns
+    )
+    replicas = design.replicas
+    env = Environment()
+    resolver = PathResolver(env, platform, seed=seed, with_dram_jitter=False)
+    rng = SplitRng(seed).stream("mk-arrivals")
+    lat = platform.spec.latency
+
+    apply_servers = [Resource(env, capacity=1) for __ in range(replicas)]
+    visibility_samples: List[float] = []
+    first_issue: List[float] = []
+    last_done: List[float] = [0.0]
+
+    def pair_path_ns(src: int, dst: int) -> float:
+        dx, dy = platform.mesh_offset(
+            platform.ccds[src].coord, platform.ccds[dst].coord
+        )
+        return (
+            lat.if_link_ns + lat.ccm_ns
+            + lat.mesh_cost_ns(dx, dy)
+            + lat.ccm_ns + lat.if_link_ns
+        )
+
+    def deliver(src: int, dst: int) -> Generator[Event, None, None]:
+        # Serialize the 64 B message on the sender's IF, cross the mesh,
+        # then queue for the receiving kernel's apply loop.
+        yield from resolver.if_arbiter(src).transfer(CACHELINE, is_write=True)
+        yield env.timeout(pair_path_ns(src, dst))
+        with apply_servers[dst].request() as grant:
+            yield grant
+            yield env.timeout(per_message_cpu_ns)
+
+    def update(src: int) -> Generator[Event, None, None]:
+        start = env.now
+        yield env.timeout(lat.l3_ns)  # local apply
+        deliveries = [
+            env.process(deliver(src, dst))
+            for dst in range(replicas)
+            if dst != src
+        ]
+        yield env.all_of(deliveries)
+        visibility_samples.append(env.now - start)
+        last_done[0] = max(last_done[0], env.now)
+
+    def arrival_source(replica: int) -> Generator[Event, None, None]:
+        per_replica_rate = offered_mops / replicas / 1e3  # updates per ns
+        count = updates // replicas
+        for __ in range(count):
+            yield env.timeout(float(rng.exponential(1.0 / per_replica_rate)))
+            if not first_issue:
+                first_issue.append(env.now)
+            env.process(update(replica))
+
+    sources = [env.process(arrival_source(r)) for r in range(replicas)]
+    env.run(env.all_of(sources))
+    env.run()  # drain in-flight updates
+    if not visibility_samples:
+        raise ConfigurationError("no updates completed (too few updates?)")
+    elapsed = max(last_done[0] - (first_issue[0] if first_issue else 0.0), 1e-9)
+    achieved = len(visibility_samples) / elapsed * 1e3  # Mops
+    return MultikernelRun(
+        offered_mops=offered_mops,
+        achieved_mops=float(achieved),
+        visibility=LatencyStats.from_samples(np.asarray(visibility_samples)),
+    )

@@ -1,0 +1,55 @@
+"""Chiplet-based server SoC platform model.
+
+This package encodes the structure the paper characterizes (§2.2, Figure 1):
+compute chiplets (CCDs) containing core complexes (CCXs) that share L3 slices,
+a single I/O die with a mesh NoC, unified memory controllers (UMCs) with
+attached DIMMs, I/O hubs with P Links to PCIe/CXL devices, and the
+heterogeneous links connecting them.
+
+Two presets reproduce the evaluated machines of Table 1:
+
+* :func:`~repro.platform.presets.epyc_7302` — Zen 2, 16 cores / 8 CCX / 4 CCD
+* :func:`~repro.platform.presets.epyc_9634` — Zen 4, 84 cores / 12 CCX / 12 CCD
+  with four CXL memory modules
+"""
+
+from repro.platform.components import (
+    CCD,
+    CCX,
+    Core,
+    CXLDevice,
+    DIMM,
+    IOHub,
+    RootComplex,
+    UMC,
+)
+from repro.platform.interconnect import LinkKind, LinkSpec
+from repro.platform.numa import NpsMode, Position
+from repro.platform.presets import epyc_7302, epyc_9634
+from repro.platform.topology import (
+    BandwidthParams,
+    LatencyParams,
+    Platform,
+    PlatformSpec,
+)
+
+__all__ = [
+    "CCD",
+    "CCX",
+    "Core",
+    "CXLDevice",
+    "DIMM",
+    "IOHub",
+    "RootComplex",
+    "UMC",
+    "LinkKind",
+    "LinkSpec",
+    "NpsMode",
+    "Position",
+    "BandwidthParams",
+    "LatencyParams",
+    "Platform",
+    "PlatformSpec",
+    "epyc_7302",
+    "epyc_9634",
+]

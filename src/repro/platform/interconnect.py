@@ -1,0 +1,66 @@
+"""Interconnect link descriptions.
+
+Server chiplet networking is "a network of heterogeneous networks" (§2.3): the
+physical layer mixes on-chip cache-coherent interconnects (Infinity Fabric,
+UCIe), the mesh inside the I/O die, off-chip memory links, and peripheral I/O
+buses (P Link, PCIe/CXL lanes). Each link kind is described by a
+:class:`LinkSpec` carrying its propagation latency and its per-direction data
+capacities.
+
+Direction convention: ``read_gbps`` is the capacity available to read *data*
+(which flows on the response channel, device → core), ``write_gbps`` is the
+capacity available to write data (request channel, core → device). Read/write
+streams therefore only collide on a link when they saturate the *same*
+direction — the mechanism behind the paper's Figure 6 interference results.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkKind", "LinkSpec"]
+
+
+class LinkKind(enum.Enum):
+    """The heterogeneous link families of the platform (paper §2.2/§2.3)."""
+
+    #: Infinity Fabric segment between a CCD and the I/O die (die-to-die).
+    IF = "if"
+    #: Inter-socket Infinity Fabric (xGMI) between the two I/O dies.
+    XGMI = "xgmi"
+    #: Global Memory Interconnect path segment from the mesh to a UMC/DIMM.
+    GMI = "gmi"
+    #: One switching hop of the I/O die's internal mesh NoC.
+    NOC_HOP = "noc-hop"
+    #: Mesh stop → I/O hub segment.
+    IO_HUB = "io-hub"
+    #: I/O hub → PCIe root complex ("P Link" in AMD terms).
+    P_LINK = "p-link"
+    #: Root complex → CXL device lanes (CXL.mem over PCIe PHY).
+    CXL = "cxl"
+    #: Root complex → generic PCIe device lanes.
+    PCIE = "pcie"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of one link: latency plus per-direction capacity."""
+
+    name: str
+    kind: LinkKind
+    latency_ns: float
+    read_gbps: float
+    write_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+        if self.read_gbps <= 0 or self.write_gbps <= 0:
+            raise ConfigurationError(f"{self.name}: capacities must be positive")
+
+    def capacity(self, is_write: bool) -> float:
+        """Capacity (GB/s) of the direction used by a read or write stream."""
+        return self.write_gbps if is_write else self.read_gbps

@@ -1,0 +1,58 @@
+"""NUMA / NPS configuration and DIMM position classification.
+
+The paper measures DRAM latency "by … changing the NPS (Node per Socket)
+configurations and issuing memory requests to DIMMs at different positions"
+(Table 2). A DIMM's *position* is relative to the issuing compute chiplet's
+GMI port on the I/O-die mesh:
+
+* ``NEAR`` — same mesh stop (no switching hops),
+* ``VERTICAL`` — one hop along the y dimension,
+* ``HORIZONTAL`` — hops along the x dimension only,
+* ``DIAGONAL`` — hops in both dimensions (plus a turn on platforms whose mesh
+  charges for changing dimension).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+__all__ = ["Position", "NpsMode", "classify_position"]
+
+Coord = Tuple[int, int]
+
+
+class Position(enum.Enum):
+    """Relative position of a memory target on the I/O-die mesh."""
+
+    NEAR = "near"
+    VERTICAL = "vertical"
+    HORIZONTAL = "horizontal"
+    DIAGONAL = "diagonal"
+
+
+class NpsMode(enum.IntEnum):
+    """Nodes-per-socket BIOS setting: how DRAM is interleaved across UMCs.
+
+    * ``NPS1`` — all channels interleaved; accesses spread over every UMC.
+    * ``NPS2`` — two NUMA domains per socket (half the channels each).
+    * ``NPS4`` — four domains; a CCD's local domain is its nearest UMC group,
+      which is what exposes the per-position latencies of Table 2.
+    """
+
+    NPS1 = 1
+    NPS2 = 2
+    NPS4 = 4
+
+
+def classify_position(src: Coord, dst: Coord) -> Position:
+    """Classify ``dst`` relative to ``src`` by mesh coordinate deltas."""
+    dx = abs(dst[0] - src[0])
+    dy = abs(dst[1] - src[1])
+    if dx == 0 and dy == 0:
+        return Position.NEAR
+    if dx == 0:
+        return Position.VERTICAL
+    if dy == 0:
+        return Position.HORIZONTAL
+    return Position.DIAGONAL

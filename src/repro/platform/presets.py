@@ -1,0 +1,318 @@
+"""Preset platforms: the two processors characterized in the paper (Table 1).
+
+Every constant below is either taken directly from Table 1 (counts, cache
+sizes, process nodes, frequencies) or calibrated so the *measured* quantities
+of Tables 2-3 and Figures 3-6 emerge from the simulation. Calibration targets
+are quoted in the comments; EXPERIMENTS.md records measured-vs-paper numbers.
+
+Latency decomposition targets (Table 2):
+
+====================  =========  =========
+stage                 EPYC 7302  EPYC 9634
+====================  =========  =========
+L1                    1.24 ns    1.19 ns
+L2                    5.66 ns    7.51 ns
+L3                    34.3 ns    40.8 ns
+max CCX queueing      30 ns      20 ns
+max CCD queueing      20 ns      (absent)
+switching hop         ~8 ns      ~4 ns
+I/O hub               ~15 ns     ~15 ns
+DRAM near             124 ns     141 ns
+DRAM vertical         131 ns     145 ns
+DRAM horizontal       141 ns     150 ns
+DRAM diagonal         145 ns     149 ns
+CXL DIMM              (absent)   243 ns
+====================  =========  =========
+
+Bandwidth ceiling targets (Table 3, read/write GB/s):
+
+==================  ===========  =============
+bottleneck          EPYC 7302    EPYC 9634
+==================  ===========  =============
+core → DIMM         14.9 / 3.6   14.6 / 3.3
+CCX pool            25.1 / 7.1   (= GMI)
+GMI (CCD)           32.5 / 14.3  35.2 / 23.8
+UMC (one channel)   21.1 / 19.0  34.9 / 28.3
+NoC (whole CPU)     106.7/ 55.1  366.2 / 270.6
+core → CXL          (absent)     5.4 / 2.8
+CCX → CXL           (absent)     23.6 / 15.8
+CPU → CXL           (absent)     88.1 / 87.7
+==================  ===========  =============
+"""
+
+from __future__ import annotations
+
+from repro.platform.topology import (
+    BandwidthParams,
+    LatencyParams,
+    Platform,
+    PlatformSpec,
+)
+from repro.units import GIB, KIB, MIB
+
+__all__ = [
+    "epyc_7302",
+    "epyc_9634",
+    "synthetic_ucie",
+    "EPYC_7302_SPEC",
+    "EPYC_9634_SPEC",
+    "SYNTHETIC_UCIE_SPEC",
+]
+
+
+# --------------------------------------------------------------------- 7302
+
+#: Zen 2 "Rome" — Dell 7525 box (per-socket view; the box has two sockets).
+EPYC_7302_SPEC = PlatformSpec(
+    name="EPYC 7302",
+    microarchitecture="Zen 2",
+    sockets=2,
+    cores=16,
+    ccx_count=8,
+    ccd_count=4,
+    l1_bytes=32 * KIB,
+    l2_bytes=512 * KIB,
+    l3_total_bytes=128 * MIB,
+    umc_count=8,                      # 8 DDR4 channels
+    dimm_capacity_bytes=16 * GIB,     # 256 GB / 2 sockets / 8 channels
+    cxl_device_count=0,
+    cxl_device_capacity_bytes=0,
+    pcie_gen=4,
+    pcie_lanes=128,
+    base_ghz=3.0,
+    turbo_ghz=3.3,
+    compute_process_nm=7,
+    io_process_nm=12,
+    latency=LatencyParams(
+        l1_ns=1.24,
+        l2_ns=5.66,
+        l3_ns=34.3,
+        ccx_queue_max_ns=30.0,
+        ccd_queue_max_ns=20.0,
+        if_link_ns=9.0,
+        ccm_ns=4.0,
+        # Switching hop "~8 ns": x hops 8.5 ns, y hops 7 ns; XY turns cost
+        # 5 ns. Position deltas: vertical +7, horizontal +17, diagonal +20.5
+        # → 124 / 131 / 141 / 144.5 ns against the paper's 124/131/141/145.
+        x_hop_ns=8.5,
+        y_hop_ns=7.0,
+        turn_ns=5.0,
+        cs_ns=4.0,
+        umc_ns=8.0,
+        dram_ns=64.7,                 # closes the near-DIMM sum at 124.0 ns
+        io_hub_ns=15.0,
+        root_complex_ns=8.0,
+        p_link_ns=25.0,
+        cxl_device_ns=None,           # no CXL memory on this box
+        # The Dell 7525 is a two-socket box: crossing the xGMI link to the
+        # other socket's memory adds ~105 ns (remote near = 229 ns, the
+        # usual 2S Rome figure).
+        xgmi_ns=105.0,
+    ),
+    bandwidth=BandwidthParams(
+        # 29 outstanding reads × 64 B / 124 ns = 14.97 GB/s (paper: 14.9);
+        # 7 write-combining buffers × 64 B / 124 ns = 3.61 GB/s (paper: 3.6).
+        mlp_read=29,
+        wcb_write=7,
+        # Two cores per CCX could drive 29.9/7.2; the CCX token pool caps
+        # the complex at the measured 25.1/7.1.
+        ccx_read_gbps=25.1,
+        ccx_write_gbps=7.1,
+        gmi_read_gbps=32.5,
+        gmi_write_gbps=14.3,
+        umc_read_gbps=21.1,
+        umc_write_gbps=19.0,
+        # Whole-CPU peak binds here: 4×GMI = 130/57.2 exceeds the NoC.
+        noc_read_gbps=106.7,
+        noc_write_gbps=55.1,
+        hub_port_read_gbps=24.0,
+        hub_port_write_gbps=16.0,
+        p_link_read_gbps=26.0,
+        p_link_write_gbps=26.0,
+        cxl_dev_read_gbps=None,
+        cxl_dev_write_gbps=None,
+        # Saturating one CCX (2 cores × 29 reads = 58 issuable) against 50
+        # tokens leaves an 8-deep backlog recycling every ~3.7 ns → ≈30 ns
+        # max queueing; the CCD module's backlog at the GMI drain → ≈21 ns
+        # (Table 2's 30/20 ns rows, measured by the saturation probes).
+        ccx_tokens=50,
+        ccd_tokens=94,
+        # Socket-to-socket: four xGMI-2 links = ~70/55 GB/s usable.
+        xgmi_read_gbps=70.0,
+        xgmi_write_gbps=55.0,
+    ),
+)
+
+
+# --------------------------------------------------------------------- 9634
+
+#: Zen 4 "Genoa" — Supermicro 1U box with four Micron CZ120 CXL modules.
+EPYC_9634_SPEC = PlatformSpec(
+    name="EPYC 9634",
+    microarchitecture="Zen 4",
+    sockets=1,
+    cores=84,
+    ccx_count=12,
+    ccd_count=12,
+    l1_bytes=64 * KIB,
+    l2_bytes=1 * MIB,
+    l3_total_bytes=384 * MIB,
+    umc_count=12,                     # 12 DDR5 channels
+    dimm_capacity_bytes=64 * GIB,
+    cxl_device_count=4,               # 4 × Micron CZ120
+    cxl_device_capacity_bytes=256 * GIB,
+    pcie_gen=5,
+    pcie_lanes=128,
+    base_ghz=2.25,
+    turbo_ghz=3.7,
+    compute_process_nm=5,
+    io_process_nm=6,
+    latency=LatencyParams(
+        l1_ns=1.19,
+        l2_ns=7.51,
+        l3_ns=40.8,
+        ccx_queue_max_ns=20.0,
+        ccd_queue_max_ns=0.0,         # Table 2: N/A on the 9634
+        if_link_ns=9.0,
+        ccm_ns=4.0,
+        # Switching hop "~4 ns": x 4.5 ns, y 4 ns, free turns (the newer I/O
+        # die routes diagonals without a turn penalty). Position deltas:
+        # vertical +4, horizontal +9, diagonal +8.5 → 141/145/150/149.5
+        # against the paper's 141/145/150/149.
+        x_hop_ns=4.5,
+        y_hop_ns=4.0,
+        turn_ns=0.0,
+        cs_ns=4.0,
+        umc_ns=8.0,
+        dram_ns=75.2,                 # closes the near-DIMM sum at 141.0 ns
+        io_hub_ns=15.0,
+        root_complex_ns=8.0,
+        p_link_ns=25.0,
+        # 40.8+9+4+4.5 (one x hop to the hub) +15+8+25+136.7 = 243.0 ns.
+        cxl_device_ns=136.7,
+    ),
+    bandwidth=BandwidthParams(
+        # 32 × 64 B / 141 ns = 14.52 GB/s (paper 14.6);
+        # 7 × 64 B / 141 ns = 3.18 GB/s (paper 3.3).
+        mlp_read=32,
+        wcb_write=7,
+        # One CCX per CCD: no separate CCX token pool; GMI binds.
+        ccx_read_gbps=None,
+        ccx_write_gbps=None,
+        gmi_read_gbps=35.2,
+        gmi_write_gbps=23.8,
+        umc_read_gbps=34.9,
+        umc_write_gbps=28.3,
+        # Whole-CPU peak binds here: 12×GMI = 422/286 exceeds the NoC.
+        noc_read_gbps=366.2,
+        noc_write_gbps=270.6,
+        # CCX→CXL measures 23.6/15.8: the per-CCD mesh→hub segment binds.
+        hub_port_read_gbps=24.0,
+        hub_port_write_gbps=16.0,
+        p_link_read_gbps=23.0,
+        p_link_write_gbps=23.0,
+        # CPU→CXL measures 88.1/87.7 over four modules: per-device ceiling.
+        # Configured as the *wire* rate; 68 B FLITs carry 64 B payload, so
+        # payload peaks at 23.5/1.0625 = 22.1 and 23.4/1.0625 = 22.0 GB/s
+        # per device (×4 devices → 88.4/88.1 against the paper's 88.1/87.7).
+        cxl_dev_read_gbps=23.5,
+        cxl_dev_write_gbps=23.4,
+        # 20 × 64 B / 243 ns = 5.27 GB/s (paper 5.4);
+        # 11 × 64 B / 243 ns = 2.90 GB/s (paper 2.8).
+        cxl_mlp_read=20,
+        cxl_wcb_write=11,
+        # 7 cores × 32 reads = 224 issuable against 213 tokens: an 11-deep
+        # backlog recycling every ~1.8 ns → ≈20 ns max queueing (Table 2).
+        # No CCD-level module on Zen 4 (one CCX per CCD).
+        ccx_tokens=213,
+        ccd_tokens=None,
+    ),
+)
+
+
+# ---------------------------------------------------------------- synthetic
+
+#: A hypothetical next-generation part with a UCIe die-to-die fabric —
+#: *not* calibrated against hardware. It exists to exercise the
+#: cross-platform characterization framework (§4 #5): faster/narrower
+#: die-to-die hops, one CCX per CCD, more generous MLP, CXL 3.x devices.
+SYNTHETIC_UCIE_SPEC = PlatformSpec(
+    name="Synthetic UCIe",
+    microarchitecture="synthetic-next",
+    sockets=1,
+    cores=64,
+    ccx_count=8,
+    ccd_count=8,
+    l1_bytes=64 * KIB,
+    l2_bytes=2 * MIB,
+    l3_total_bytes=256 * MIB,
+    umc_count=12,
+    dimm_capacity_bytes=96 * GIB,
+    cxl_device_count=4,
+    cxl_device_capacity_bytes=512 * GIB,
+    pcie_gen=6,
+    pcie_lanes=160,
+    base_ghz=3.0,
+    turbo_ghz=4.2,
+    compute_process_nm=3,
+    io_process_nm=4,
+    latency=LatencyParams(
+        l1_ns=1.0,
+        l2_ns=6.0,
+        l3_ns=38.0,
+        ccx_queue_max_ns=15.0,
+        ccd_queue_max_ns=0.0,
+        if_link_ns=6.0,             # UCIe advanced-package reach
+        ccm_ns=3.0,
+        x_hop_ns=2.5,
+        y_hop_ns=2.5,
+        turn_ns=0.0,
+        cs_ns=3.0,
+        umc_ns=7.0,
+        dram_ns=70.0,               # near DRAM = 127 ns
+        io_hub_ns=10.0,
+        root_complex_ns=6.0,
+        p_link_ns=15.0,
+        cxl_device_ns=109.5,        # CXL = 190 ns
+        pcie_device_ns=300.0,
+    ),
+    bandwidth=BandwidthParams(
+        mlp_read=40,
+        wcb_write=10,
+        ccx_read_gbps=None,
+        ccx_write_gbps=None,
+        gmi_read_gbps=50.0,
+        gmi_write_gbps=35.0,
+        umc_read_gbps=40.0,
+        umc_write_gbps=33.0,
+        noc_read_gbps=340.0,        # still below 8 x 50: the wall remains
+        noc_write_gbps=250.0,
+        hub_port_read_gbps=40.0,
+        hub_port_write_gbps=28.0,
+        p_link_read_gbps=40.0,
+        p_link_write_gbps=40.0,
+        cxl_dev_read_gbps=38.0,
+        cxl_dev_write_gbps=38.0,
+        cxl_mlp_read=28,
+        cxl_wcb_write=16,
+        # 8 cores x 40 = 320 issuable vs 310 tokens: ~10-deep backlog at
+        # the 50 GB/s GMI drain -> ~13 ns, near the configured 15 ns bound.
+        ccx_tokens=310,
+        ccd_tokens=None,
+    ),
+)
+
+
+def epyc_7302() -> Platform:
+    """Build the EPYC 7302 (Zen 2) platform of the paper's Dell 7525 box."""
+    return Platform(EPYC_7302_SPEC)
+
+
+def epyc_9634() -> Platform:
+    """Build the EPYC 9634 (Zen 4) platform of the paper's Supermicro box."""
+    return Platform(EPYC_9634_SPEC)
+
+
+def synthetic_ucie() -> Platform:
+    """Build the uncalibrated synthetic UCIe platform (framework demo)."""
+    return Platform(SYNTHETIC_UCIE_SPEC)

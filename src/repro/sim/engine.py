@@ -1,0 +1,372 @@
+"""A compact discrete-event simulation engine.
+
+The engine follows the simpy programming model: simulation logic is written as
+generator functions that ``yield`` events. The three building blocks are
+
+* :class:`Environment` — the event loop and simulated clock (nanoseconds),
+* :class:`Event` and its subclasses (:class:`Timeout`, :class:`Process`,
+  :class:`AllOf`, :class:`AnyOf`),
+* :class:`Resource` / :class:`Store` — queued shared resources.
+
+The implementation is single-threaded and deterministic: events scheduled for
+the same timestamp fire in scheduling order (a monotonically increasing
+sequence number breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+]
+
+#: Sentinel for "event not yet triggered".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* by :meth:`succeed` or :meth:`fail`; at that point
+    it is scheduled and its callbacks run when the environment reaches it.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before it was triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in the waiter."""
+        if self.triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; completes (as an event) when the generator returns.
+
+    Yield values must be :class:`Event` instances. The value of a yielded
+    event is sent back into the generator; failed events raise inside it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        # Bootstrap: resume the generator at the current time.
+        bootstrap = Event(env)
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env._schedule(bootstrap)
+
+    def _resume(self, event: Event) -> None:
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    target = self._generator.throw(event.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded a non-event: {target!r} "
+                    "(yield Timeout/Process/Resource requests instead)"
+                )
+            if target.processed:
+                # Already fired: loop around immediately with its value.
+                event = target
+                continue
+            if target.callbacks is None:
+                raise SimulationError("yielded event was already processed")
+            target.callbacks.append(self._resume)
+            return
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value is their list of values."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._remaining = 0
+        for child in self._children:
+            if child.processed:
+                continue
+            self._remaining += 1
+            child.callbacks.append(self._on_child)
+        if self._remaining == 0:
+            self.succeed([child.value for child in self._children])
+
+    def _on_child(self, event: Event) -> None:
+        if not event.ok:
+            if not self.triggered:
+                self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0 and not self.triggered:
+            self.succeed([child.value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires; value is that child's value."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        fired = [child for child in self._children if child.processed]
+        if fired:
+            self.succeed(fired[0].value)
+            return
+        for child in self._children:
+            child.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class Environment:
+    """The event loop: a simulated clock plus a priority queue of events."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Create an untriggered event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all child events have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first child event fires."""
+        return AnyOf(self, events)
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, __, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a timestamp (run until the clock passes it), an
+        :class:`Event` (run until it fires; its value is returned), or ``None``
+        (run until no events remain).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited event fired"
+                    )
+                self.step()
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until {horizon}: clock is already at {self._now}"
+                )
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+
+class _ResourceRequest(Event):
+    """A pending claim on a :class:`Resource` slot (usable as a context manager)."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "_ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A shared resource with ``capacity`` slots and a FIFO wait queue.
+
+    FIFO service with no flow awareness is exactly the "traffic-oblivious"
+    arbitration the paper identifies (§3.5): whichever sender has more requests
+    in flight receives proportionally more service.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[_ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _ResourceRequest:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = _ResourceRequest(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _ResourceRequest) -> None:
+        """Return a slot; the oldest waiter (if any) is granted immediately."""
+        if request.resource is not self:
+            raise SimulationError("release() with a request from another resource")
+        if self._waiting:
+            nxt = self._waiting.popleft()
+            nxt.succeed()
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise SimulationError("resource released more times than requested")
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert an item (never blocks); returns an already-fired event."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+        done = Event(self.env)
+        done.succeed(item)
+        return done
+
+    def get(self) -> Event:
+        """Remove and return the oldest item, waiting if the store is empty."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

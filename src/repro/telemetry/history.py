@@ -1,0 +1,115 @@
+"""Time-bucketed utilization history (§4 #1's runtime telemetry).
+
+The proposed ``/proc/chiplet-net`` should expose "runtime performance
+telemetry statistics for each link and intermediate hop" — not just
+since-boot totals but recent behaviour. :class:`UtilizationHistory` keeps a
+ring of fixed-width time buckets per channel, cheap enough to update on
+every transfer, and renders sparkline-style recent-utilization strips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, MeasurementError
+
+__all__ = ["UtilizationHistory"]
+
+_SPARK = " .:-=+*#%@"
+
+
+@dataclass
+class _ChannelHistory:
+    capacity_gbps: float
+    buckets: List[float] = field(default_factory=list)
+
+
+class UtilizationHistory:
+    """Per-channel byte accounting over fixed time buckets."""
+
+    def __init__(self, bucket_ns: float = 1000.0, max_buckets: int = 256):
+        if bucket_ns <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        if max_buckets < 2:
+            raise ConfigurationError("need at least two buckets")
+        self.bucket_ns = bucket_ns
+        self.max_buckets = max_buckets
+        self._channels: Dict[str, _ChannelHistory] = {}
+        self._origin_ns = 0.0
+
+    def register(self, name: str, capacity_gbps: float) -> None:
+        """Declare a channel and its capacity for tracking."""
+        if capacity_gbps <= 0:
+            raise ConfigurationError(f"{name}: capacity must be positive")
+        if name in self._channels:
+            raise ConfigurationError(f"channel {name!r} already registered")
+        self._channels[name] = _ChannelHistory(capacity_gbps)
+
+    def record(self, name: str, t_ns: float, size_bytes: float) -> None:
+        """Attribute ``size_bytes`` moved at ``t_ns`` to its bucket."""
+        try:
+            history = self._channels[name]
+        except KeyError:
+            raise MeasurementError(f"unknown channel {name!r}") from None
+        if t_ns < self._origin_ns:
+            raise MeasurementError("samples must be time-ordered per window")
+        index = int((t_ns - self._origin_ns) / self.bucket_ns)
+        if index >= self.max_buckets:
+            # Slide the window: drop whole buckets from every channel.
+            drop = index - self.max_buckets + 1
+            for channel in self._channels.values():
+                channel.buckets = channel.buckets[drop:]
+            self._origin_ns += drop * self.bucket_ns
+            index = self.max_buckets - 1
+        while len(history.buckets) <= index:
+            history.buckets.append(0.0)
+        history.buckets[index] += size_bytes
+
+    def utilization_series(self, name: str) -> List[float]:
+        """Per-bucket utilization (0..1) of one channel."""
+        try:
+            history = self._channels[name]
+        except KeyError:
+            raise MeasurementError(f"unknown channel {name!r}") from None
+        per_bucket_capacity = history.capacity_gbps * self.bucket_ns
+        return [
+            min(1.0, moved / per_bucket_capacity)
+            for moved in history.buckets
+        ]
+
+    def mean_utilization(self, name: str) -> float:
+        """Mean per-bucket utilization of one channel."""
+        series = self.utilization_series(name)
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+    def peak_utilization(self, name: str) -> float:
+        """Highest per-bucket utilization of one channel."""
+        series = self.utilization_series(name)
+        return max(series) if series else 0.0
+
+    def sparkline(self, name: str, width: Optional[int] = None) -> str:
+        """Render recent utilization as a character strip (old → new)."""
+        series = self.utilization_series(name)
+        if width is not None and len(series) > width:
+            series = series[-width:]
+        return "".join(
+            _SPARK[min(len(_SPARK) - 1, int(u * (len(_SPARK) - 1) + 0.5))]
+            for u in series
+        )
+
+    def report(self, width: int = 40) -> str:
+        """Text report: mean/peak plus a sparkline per channel."""
+        lines = [
+            f"{'channel':<16}{'mean':>7}{'peak':>7}  recent "
+            f"({self.bucket_ns:.0f} ns buckets)"
+        ]
+        for name in sorted(self._channels):
+            lines.append(
+                f"{name:<16}{self.mean_utilization(name):>6.1%}"
+                f"{self.peak_utilization(name):>7.1%}  "
+                f"|{self.sparkline(name, width)}|"
+            )
+        return "\n".join(lines)

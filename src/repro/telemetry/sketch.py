@@ -1,0 +1,82 @@
+"""Count-min sketch with conservative update.
+
+The paper proposes a profiler combining the PMU "with time-series-based
+probabilistic and compact data structures (like Sketches) to distill
+application-specific execution telemetry" (§4 #5). A count-min sketch gives
+per-flow byte accounting in O(depth) memory words per flow-key universe,
+never under-estimates, and over-estimates by at most ``ε·N`` with
+probability ``1-δ`` for width ``⌈e/ε⌉`` and depth ``⌈ln 1/δ⌉``.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """A count-min sketch over string keys (conservative update)."""
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError(
+                f"width and depth must be >= 1, got {width}x{depth}"
+            )
+        self.width = width
+        self.depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._row_salts = [
+            zlib.crc32(f"cms-{seed}-{row}".encode()) for row in range(depth)
+        ]
+        self.total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Size the sketch for overestimate ≤ ε·N with probability 1-δ."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ConfigurationError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=max(1, depth), seed=seed)
+
+    def _indices(self, key: str) -> list[int]:
+        data = key.encode("utf-8")
+        return [
+            zlib.crc32(data, salt) % self.width for salt in self._row_salts
+        ]
+
+    def add(self, key: str, count: int = 1) -> None:
+        """Add ``count`` to ``key`` (conservative update: only raise the
+        minimum cells, which tightens the overestimate)."""
+        if count < 0:
+            raise ConfigurationError(f"negative count {count}")
+        idx = self._indices(key)
+        current = min(
+            self._table[row, col] for row, col in enumerate(idx)
+        )
+        target = current + count
+        for row, col in enumerate(idx):
+            if self._table[row, col] < target:
+                self._table[row, col] = target
+        self.total += count
+
+    def estimate(self, key: str) -> int:
+        """Estimated count for ``key`` (never an underestimate)."""
+        idx = self._indices(key)
+        return int(min(self._table[row, col] for row, col in enumerate(idx)))
+
+    def error_bound(self) -> float:
+        """The ε·N overestimate bound implied by the current width/total."""
+        return math.e / self.width * self.total
+
+    @property
+    def memory_cells(self) -> int:
+        return self.width * self.depth

@@ -1,0 +1,21 @@
+"""Shared fixtures: the two paper platforms, built once per session."""
+
+import pytest
+
+from repro.platform.presets import epyc_7302, epyc_9634
+
+
+@pytest.fixture(scope="session")
+def p7302():
+    return epyc_7302()
+
+
+@pytest.fixture(scope="session")
+def p9634():
+    return epyc_9634()
+
+
+@pytest.fixture(scope="session", params=["7302", "9634"])
+def platform(request, p7302, p9634):
+    """Parametrized over both evaluated platforms."""
+    return p7302 if request.param == "7302" else p9634

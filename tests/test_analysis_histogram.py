@@ -1,0 +1,112 @@
+"""Tests for the log-binned latency histogram."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import LatencyHistogram
+from repro.errors import ConfigurationError, MeasurementError
+
+
+class TestValidation:
+    def test_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(min_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(min_ns=10.0, max_ns=5.0)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(growth=1.0)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(MeasurementError):
+            LatencyHistogram().add(-1.0)
+
+    def test_percentile_of_empty(self):
+        with pytest.raises(MeasurementError):
+            LatencyHistogram().percentile(50)
+
+    def test_bad_quantile(self):
+        histogram = LatencyHistogram()
+        histogram.add(100.0)
+        with pytest.raises(MeasurementError):
+            histogram.percentile(101)
+
+
+class TestAccuracy:
+    def test_percentiles_within_growth_error(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=5.0, sigma=0.5, size=20000)
+        histogram = LatencyHistogram(growth=1.05)
+        histogram.add_many(samples)
+        for q in (50, 90, 99, 99.9):
+            exact = float(np.percentile(samples, q))
+            estimate = histogram.percentile(q)
+            assert estimate == pytest.approx(exact, rel=0.06), q
+
+    def test_single_value(self):
+        histogram = LatencyHistogram()
+        histogram.add(123.0)
+        assert histogram.percentile(50) == pytest.approx(123.0, rel=0.06)
+
+    def test_overflow_and_underflow_buckets(self):
+        histogram = LatencyHistogram(min_ns=10.0, max_ns=1000.0)
+        histogram.add(0.5)        # below min
+        histogram.add(5e6)        # above max
+        assert histogram.total == 2
+        assert histogram.percentile(1) <= 10.0
+        assert histogram.percentile(99) >= 1000.0
+
+    def test_memory_is_fixed(self):
+        histogram = LatencyHistogram(growth=1.1)
+        bins_before = histogram.memory_bins
+        histogram.add_many(np.random.default_rng(1).uniform(1, 1e6, 5000))
+        assert histogram.memory_bins == bins_before
+
+    def test_relative_error_property(self):
+        assert LatencyHistogram(growth=1.05).relative_error == pytest.approx(
+            0.05
+        )
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(2)
+        a_samples = rng.uniform(50, 500, 3000)
+        b_samples = rng.uniform(500, 5000, 3000)
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        union = LatencyHistogram()
+        a.add_many(a_samples)
+        b.add_many(b_samples)
+        union.add_many(np.concatenate([a_samples, b_samples]))
+        a.merge(b)
+        assert a.total == union.total
+        for q in (10, 50, 95):
+            assert a.percentile(q) == pytest.approx(union.percentile(q))
+
+    def test_merge_requires_same_binning(self):
+        a = LatencyHistogram(growth=1.05)
+        b = LatencyHistogram(growth=1.10)
+        with pytest.raises(MeasurementError):
+            a.merge(b)
+
+
+class TestRender:
+    def test_render_nonempty(self):
+        histogram = LatencyHistogram()
+        histogram.add_many([100.0] * 50 + [200.0] * 10)
+        text = histogram.render()
+        assert "#" in text
+
+    def test_render_empty(self):
+        assert "empty" in LatencyHistogram().render()
+
+    def test_usable_with_des_samples(self, p7302):
+        from repro.core.microbench import MicroBench
+        from repro.units import MIB
+
+        bench = MicroBench(p7302)
+        __, stats = bench.pointer_chase(64 * MIB, iterations=400)
+        histogram = LatencyHistogram()
+        # Streaming ingestion of the same magnitude as the DES output.
+        histogram.add_many([stats.mean] * 100 + [stats.p999] * 1)
+        assert histogram.percentile(50) == pytest.approx(stats.mean, rel=0.06)

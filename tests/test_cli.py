@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_platform_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table3", "--platform", "xeon"])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in (
+            "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
+            "suite", "os-scaling", "accel", "devtree", "io-relay",
+            "collective", "noc-routing", "core-to-core", "patterns",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Zen 2" in out and "Zen 4" in out
+
+    def test_table3_single_platform(self, capsys):
+        assert main(["table3", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "From CPU" in out
+        assert "EPYC 9634" not in out
+
+    def test_table2_reduced(self, capsys):
+        assert main([
+            "table2", "--platform", "7302", "--iterations", "300"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM near" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--platform", "9634"]) == 0
+        out = capsys.readouterr().out
+        assert "case3-equal-demands" in out
+
+    def test_fig5_default_platform(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "harvest delay" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "if-intra-cc" in out
+
+    def test_os_scaling(self, capsys):
+        assert main(["os-scaling", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "multikernel" in out
+
+    def test_devtree(self, capsys):
+        assert main(["devtree", "--platform", "synthetic"]) == 0
+        out = capsys.readouterr().out
+        assert "chiplet-net {" in out
+
+    def test_accel(self, capsys):
+        assert main(["accel", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "unmanaged" in out and "managed" in out
+
+    def test_io_relay(self, capsys):
+        assert main(["io-relay", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu-copy" in out
+
+    def test_collective(self, capsys):
+        assert main(["collective", "--platform", "9634"]) == 0
+        out = capsys.readouterr().out
+        assert "ring beats tree" in out
+
+    def test_noc_routing(self, capsys):
+        assert main(["noc-routing", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "deflections/pkt" in out
+
+    def test_core_to_core(self, capsys):
+        assert main(["core-to-core", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "handoff latency" in out
+
+    def test_suite_synthetic(self, capsys):
+        assert main(["suite", "--platform", "synthetic"]) == 0
+        out = capsys.readouterr().out
+        assert "practical guidelines" in out
+
+
+class TestCsvExport:
+    def test_fig3_csv(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main([
+            "fig3", "--platform", "7302", "--transactions", "150",
+            "--csv", str(out_dir),
+        ]) == 0
+        files = sorted(p.name for p in out_dir.glob("*.csv"))
+        assert "fig3_a_read.csv" in files
+        assert "fig3_d_nt-write.csv" in files
+        header = (out_dir / "fig3_a_read.csv").read_text().splitlines()[0]
+        assert header == "offered_gbps,achieved_gbps,avg_ns,p999_ns"
+
+    def test_patterns(self, capsys):
+        assert main(["patterns", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "pointer-chase" in out

@@ -1,0 +1,99 @@
+"""Tests for the core-to-core handoff latency matrix."""
+
+import pytest
+
+from repro.core.coretocore import (
+    core_to_core_ns,
+    measure_matrix,
+)
+from repro.errors import TopologyError
+
+
+class TestPairLatency:
+    def test_self_is_l1(self, platform):
+        assert core_to_core_ns(platform, 0, 0) == pytest.approx(
+            platform.spec.latency.l1_ns
+        )
+
+    def test_same_ccx_is_l3(self, platform):
+        ccx_cores = platform.cores_of_ccx(0)
+        if len(ccx_cores) < 2:
+            pytest.skip("single-core CCX")
+        a, b = ccx_cores[0].core_id, ccx_cores[1].core_id
+        assert core_to_core_ns(platform, a, b) == pytest.approx(
+            platform.spec.latency.l3_ns
+        )
+
+    def test_cross_ccx_crosses_the_fabric(self, p7302):
+        same_ccx = core_to_core_ns(p7302, 0, 1)
+        cross = core_to_core_ns(p7302, 0, 2)  # core 2 = CCX1
+        assert cross > 2.5 * same_ccx
+
+    def test_zen2_on_die_equals_cross_die_at_distance_zero(self, p7302):
+        # The 7302's two CCXs on one CCD talk through the I/O die, so the
+        # handoff equals a cross-CCD pair whose ports share a mesh stop.
+        on_die = core_to_core_ns(p7302, 0, 2)      # CCX0 → CCX1, same CCD
+        lat = p7302.spec.latency
+        base = 2 * lat.l3_ns + 2 * (lat.if_link_ns + lat.ccm_ns)
+        assert on_die == pytest.approx(base)
+
+    def test_farther_ccds_cost_more(self, p9634):
+        near = core_to_core_ns(p9634, 0, p9634.cores_of_ccd(1)[0].core_id)
+        coords = {ccd_id: ccd.coord for ccd_id, ccd in p9634.ccds.items()}
+        # Pick a CCD whose port is farther from CCD0's than CCD1's.
+        far_ccd = max(
+            coords,
+            key=lambda c: abs(coords[c][0] - coords[0][0])
+            + abs(coords[c][1] - coords[0][1]),
+        )
+        far = core_to_core_ns(
+            p9634, 0, p9634.cores_of_ccd(far_ccd)[0].core_id
+        )
+        assert far >= near
+
+    def test_symmetry(self, platform):
+        cores = sorted(platform.cores)[:6]
+        for a in cores:
+            for b in cores:
+                assert core_to_core_ns(platform, a, b) == pytest.approx(
+                    core_to_core_ns(platform, b, a)
+                )
+
+
+class TestMatrix:
+    def test_full_matrix_shape(self, p7302):
+        matrix = measure_matrix(p7302)
+        assert matrix.latencies_ns.shape == (16, 16)
+
+    def test_subset(self, p9634):
+        matrix = measure_matrix(p9634, core_ids=[0, 7, 14])
+        assert matrix.latencies_ns.shape == (3, 3)
+
+    def test_unknown_core_rejected(self, p7302):
+        with pytest.raises(TopologyError):
+            measure_matrix(p7302, core_ids=[0, 999])
+
+    def test_classes_ordering(self, p7302):
+        matrix = measure_matrix(p7302)
+        tiers = {t.name: t for t in matrix.classes(p7302)}
+        assert (
+            tiers["same-ccx"].latency_ns
+            < tiers["same-ccd-cross-ccx"].latency_ns
+            <= tiers["cross-ccd"].latency_ns
+        )
+
+    def test_9634_has_no_on_die_cross_ccx_tier(self, p9634):
+        matrix = measure_matrix(p9634, core_ids=list(range(14)))
+        names = {t.name for t in matrix.classes(p9634)}
+        assert "same-ccd-cross-ccx" not in names  # one CCX per CCD on Zen 4
+
+    def test_pair_counts_cover_all_pairs(self, p7302):
+        matrix = measure_matrix(p7302)
+        total_pairs = sum(t.pair_count for t in matrix.classes(p7302))
+        assert total_pairs == 16 * 15 // 2
+
+    def test_heatmap_renders(self, p7302):
+        matrix = measure_matrix(p7302, core_ids=[0, 1, 2, 4])
+        text = matrix.heatmap()
+        assert "c0" in text
+        assert len(text.splitlines()) == 5

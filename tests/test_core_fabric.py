@@ -1,0 +1,173 @@
+"""Tests for the fabric model (platform → fluid channels/flows)."""
+
+import pytest
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import Scope, StreamSpec
+from repro.errors import ConfigurationError, TopologyError
+from repro.transport.message import OpKind
+
+
+@pytest.fixture(scope="module")
+def fabric7(p7302):
+    return FabricModel(p7302)
+
+
+@pytest.fixture(scope="module")
+def fabric9(p9634):
+    return FabricModel(p9634)
+
+
+class TestChannels:
+    def test_ccx_channels_only_on_7302(self, fabric7, fabric9):
+        assert "ccx0:r" in fabric7.channels
+        assert "ccx0:w" in fabric7.channels
+        assert "ccx0:r" not in fabric9.channels
+
+    def test_gmi_and_umc_channels(self, fabric7):
+        assert fabric7.channel("gmi0:r").capacity_gbps == pytest.approx(32.5)
+        assert fabric7.channel("umc0:w").capacity_gbps == pytest.approx(19.0)
+
+    def test_noc_channels(self, fabric9):
+        assert fabric9.channel("noc:r").capacity_gbps == pytest.approx(366.2)
+        assert fabric9.channel("noc:w").capacity_gbps == pytest.approx(270.6)
+
+    def test_cxl_channels_only_on_9634(self, fabric7, fabric9):
+        assert "cxldev0:r" in fabric9.channels
+        assert "cxldev0:r" not in fabric7.channels
+
+    def test_unknown_channel_raises(self, fabric7):
+        with pytest.raises(TopologyError):
+            fabric7.channel("nope:r")
+
+
+class TestCeilings:
+    def test_core_dram_read_ceiling(self, fabric7):
+        assert fabric7.per_core_ceiling_gbps(
+            OpKind.READ, "dram", 0
+        ) == pytest.approx(14.97, abs=0.1)
+
+    def test_core_dram_write_ceiling(self, fabric9):
+        assert fabric9.per_core_ceiling_gbps(
+            OpKind.NT_WRITE, "dram", 0
+        ) == pytest.approx(3.18, abs=0.1)
+
+    def test_core_cxl_ceilings(self, fabric9):
+        assert fabric9.per_core_ceiling_gbps(
+            OpKind.READ, "cxl", 0
+        ) == pytest.approx(5.27, abs=0.1)
+        assert fabric9.per_core_ceiling_gbps(
+            OpKind.NT_WRITE, "cxl", 0
+        ) == pytest.approx(2.90, abs=0.1)
+
+    def test_cxl_ceiling_without_cxl_memory_raises(self, fabric7):
+        # The 7302 box has no CXL modules: the latency lookup rejects it.
+        with pytest.raises(TopologyError):
+            fabric7.per_core_ceiling_gbps(OpKind.READ, "cxl", 0)
+
+    def test_farther_umcs_lower_ceiling(self, fabric7, p7302):
+        from repro.platform.numa import Position
+
+        near = [u.umc_id for u in p7302.umcs_at(0, Position.NEAR)]
+        diag = [u.umc_id for u in p7302.umcs_at(0, Position.DIAGONAL)]
+        assert fabric7.per_core_ceiling_gbps(
+            OpKind.READ, "dram", 0, umc_ids=near
+        ) > fabric7.per_core_ceiling_gbps(OpKind.READ, "dram", 0, umc_ids=diag)
+
+    def test_unknown_target(self, fabric7):
+        with pytest.raises(ConfigurationError):
+            fabric7.per_core_ceiling_gbps(OpKind.READ, "hbm", 0)
+
+
+class TestFlowCompilation:
+    def test_one_flow_per_ccx(self, fabric7, p7302):
+        cores = StreamSpec.cores_for_scope(p7302, Scope.CCD)
+        spec = StreamSpec("s", OpKind.READ, cores)
+        flows = fabric7.flows_for(spec)
+        assert len(flows) == 2  # two CCXs per CCD on the 7302
+
+    def test_dram_path_channels(self, fabric7):
+        spec = StreamSpec("s", OpKind.READ, (0,))
+        flow = fabric7.flows_for(spec)[0]
+        names = [channel.name for channel, __ in flow.path]
+        assert names[0] == "ccx0:r"
+        assert "gmi0:r" in names
+        assert "noc:r" in names
+        assert any(name.startswith("umc") for name in names)
+
+    def test_cxl_path_channels(self, fabric9):
+        spec = StreamSpec("s", OpKind.NT_WRITE, (0,), target="cxl")
+        flow = fabric9.flows_for(spec)[0]
+        names = [channel.name for channel, __ in flow.path]
+        assert "hub0:w" in names
+        assert any(name.startswith("plink") for name in names)
+        assert any(name.startswith("cxldev") for name in names)
+
+    def test_cxl_framing_weight(self, fabric9):
+        spec = StreamSpec("s", OpKind.READ, (0,), target="cxl")
+        flow = fabric9.flows_for(spec)[0]
+        weights = {
+            channel.name: weight for channel, weight in flow.path
+        }
+        # 4 devices × 68/64 framing: weight = 1.0625 / 4 on each device.
+        assert weights["cxldev0:r"] == pytest.approx(68 / 64 / 4)
+
+    def test_umc_interleave_weights_sum_to_one(self, fabric9):
+        spec = StreamSpec("s", OpKind.READ, tuple(range(84)))
+        flows = fabric9.flows_for(spec)
+        weights = [
+            weight
+            for channel, weight in flows[0].path
+            if channel.name.startswith("umc")
+        ]
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 12  # multi-chiplet stream interleaves NPS1
+
+    def test_single_ccd_stream_uses_near_group(self, fabric9):
+        spec = StreamSpec("s", OpKind.READ, (0,))
+        flow = fabric9.flows_for(spec)[0]
+        umc_names = [
+            channel.name for channel, __ in flow.path
+            if channel.name.startswith("umc")
+        ]
+        assert len(umc_names) == 3  # 9634 near group
+
+    def test_unthrottled_stream_is_elastic(self, fabric7):
+        flow = fabric7.flows_for(StreamSpec("s", OpKind.READ, (0,)))[0]
+        assert flow.elastic
+
+    def test_rate_controlled_stream_is_paced(self, fabric7):
+        flow = fabric7.flows_for(
+            StreamSpec("s", OpKind.READ, (0,), demand_gbps=5.0)
+        )[0]
+        assert not flow.elastic
+        assert flow.demand_gbps == pytest.approx(5.0)
+
+    def test_demand_split_across_ccx(self, fabric7, p7302):
+        cores = StreamSpec.cores_for_scope(p7302, Scope.CCD)
+        flows = fabric7.flows_for(
+            StreamSpec("s", OpKind.READ, cores, demand_gbps=20.0)
+        )
+        assert sum(flow.demand_gbps for flow in flows) == pytest.approx(20.0)
+
+    def test_demand_clipped_to_ceiling(self, fabric7):
+        flow = fabric7.flows_for(
+            StreamSpec("s", OpKind.READ, (0,), demand_gbps=100.0)
+        )[0]
+        assert flow.demand_gbps == pytest.approx(14.97, abs=0.1)
+
+
+class TestAchieved:
+    def test_single_core_gets_ceiling(self, fabric7):
+        spec = StreamSpec("s", OpKind.READ, (0,))
+        achieved = fabric7.achieved_gbps([spec])
+        assert achieved["s"] == pytest.approx(14.97, abs=0.1)
+
+    def test_two_streams_contend(self, fabric7, p7302):
+        cores = StreamSpec.cores_for_scope(p7302, Scope.CPU)
+        half = len(cores) // 2
+        a = StreamSpec("a", OpKind.READ, cores[:half])
+        b = StreamSpec("b", OpKind.READ, cores[half:])
+        achieved = fabric7.achieved_gbps([a, b])
+        total = achieved["a"] + achieved["b"]
+        assert total == pytest.approx(106.7, abs=1.0)  # NoC-bound

@@ -1,0 +1,62 @@
+"""Tests for the runtime utilization / binding-channel API."""
+
+import pytest
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import Scope, StreamSpec
+from repro.transport.message import OpKind
+
+
+@pytest.fixture(scope="module")
+def fabric9(p9634):
+    return FabricModel(p9634)
+
+
+class TestUtilizations:
+    def test_saturating_stream_marks_its_domain(self, fabric9, p9634):
+        cores = StreamSpec.cores_for_scope(p9634, Scope.CCX)
+        spec = StreamSpec("scan", OpKind.READ, cores)
+        utilizations = fabric9.utilizations([spec])
+        assert utilizations["gmi0:r"] == pytest.approx(1.0)
+        assert utilizations["noc:r"] < 0.2
+
+    def test_light_stream_saturates_nothing(self, fabric9):
+        spec = StreamSpec("trickle", OpKind.READ, (0,), demand_gbps=2.0)
+        utilizations = fabric9.utilizations([spec])
+        assert max(utilizations.values()) < 0.5
+        assert fabric9.binding_channel([spec]) is None
+
+    def test_binding_channel_tracks_the_wall(self, fabric9, p9634):
+        ccx = StreamSpec(
+            "ccx", OpKind.READ, StreamSpec.cores_for_scope(p9634, Scope.CCX)
+        )
+        cpu = StreamSpec(
+            "cpu", OpKind.READ, StreamSpec.cores_for_scope(p9634, Scope.CPU)
+        )
+        assert fabric9.binding_channel([ccx]) == "gmi0:r"
+        assert fabric9.binding_channel([cpu]) == "noc:r"
+
+    def test_utilization_never_exceeds_one(self, fabric9, p9634):
+        cores = StreamSpec.cores_for_scope(p9634, Scope.CPU)
+        spec = StreamSpec("scan", OpKind.READ, cores)
+        utilizations = fabric9.utilizations([spec])
+        assert all(0.0 <= u <= 1.0 for u in utilizations.values())
+
+    def test_write_streams_mark_write_channels(self, p7302):
+        # On the 7302 the CCX write pool (7.1 GB/s) binds two cores' NT
+        # streams; on the 9634 the per-core buffers bind below any channel.
+        fabric = FabricModel(p7302)
+        cores = StreamSpec.cores_for_scope(p7302, Scope.CCX)
+        spec = StreamSpec("wr", OpKind.NT_WRITE, cores)
+        assert fabric.binding_channel([spec]) == "ccx0:w"
+
+    def test_core_bound_write_stream_has_no_binding_channel(
+        self, fabric9, p9634
+    ):
+        cores = StreamSpec.cores_for_scope(p9634, Scope.CCX)
+        spec = StreamSpec("wr", OpKind.NT_WRITE, cores)
+        # 7 cores × 3.18 = 22.3 GB/s offered < the 23.8 GB/s GMI write cap.
+        assert fabric9.binding_channel([spec]) is None
+        assert fabric9.utilizations([spec])["gmi0:w"] == pytest.approx(
+            22.3 / 23.8, abs=0.02
+        )

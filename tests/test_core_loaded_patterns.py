@@ -1,0 +1,57 @@
+"""Tests for pattern-aware loaded-latency windows."""
+
+import pytest
+
+from repro.core.flows import Pattern
+from repro.core.microbench import MicroBench
+from repro.transport.message import OpKind
+
+
+class TestLoadedPatterns:
+    def test_random_pattern_lowers_saturation_bandwidth(self, p7302):
+        bench = MicroBench(p7302)
+        cores = [c.core_id for c in p7302.cores_of_ccx(0)]
+        sequential = bench.loaded_latency(
+            cores, OpKind.READ, offered_gbps=None,
+            transactions_per_core=400,
+        )
+        random = bench.loaded_latency(
+            cores, OpKind.READ, offered_gbps=None,
+            transactions_per_core=400, pattern=Pattern.RANDOM,
+        )
+        assert random.achieved_gbps < 0.75 * sequential.achieved_gbps
+
+    def test_pointer_chase_pattern_serializes(self, p7302):
+        bench = MicroBench(p7302)
+        result = bench.loaded_latency(
+            [0], OpKind.READ, offered_gbps=None,
+            transactions_per_core=300, pattern=Pattern.POINTER_CHASE,
+        )
+        # One outstanding line: bandwidth = 64 B / latency.
+        assert result.achieved_gbps == pytest.approx(
+            64.0 / result.stats.mean, rel=0.05
+        )
+
+    def test_explicit_window_overrides_pattern(self, p7302):
+        bench = MicroBench(p7302)
+        result = bench.loaded_latency(
+            [0], OpKind.READ, offered_gbps=None,
+            transactions_per_core=300, pattern=Pattern.RANDOM,
+            window_per_core=29,
+        )
+        # The caller's window wins over the pattern default.
+        assert result.achieved_gbps > 10.0
+
+    def test_write_windows_unaffected_by_random(self, p7302):
+        bench = MicroBench(p7302)
+        nt_seq = bench.loaded_latency(
+            [0], OpKind.NT_WRITE, offered_gbps=None,
+            transactions_per_core=300,
+        )
+        nt_rand = bench.loaded_latency(
+            [0], OpKind.NT_WRITE, offered_gbps=None,
+            transactions_per_core=300, pattern=Pattern.RANDOM,
+        )
+        assert nt_rand.achieved_gbps == pytest.approx(
+            nt_seq.achieved_gbps, rel=0.05
+        )

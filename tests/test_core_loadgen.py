@@ -1,0 +1,86 @@
+"""Tests for the closed-loop rate-controlled load generator."""
+
+import pytest
+
+from repro.core.loadgen import ClosedLoopIssuer
+from repro.errors import ConfigurationError
+from repro.platform.numa import Position
+from repro.sim.engine import Environment
+from repro.transport.message import OpKind
+from repro.transport.path import PathResolver
+from repro.transport.transaction import TransactionExecutor
+
+
+def build_issuer(platform, **kwargs):
+    env = Environment()
+    resolver = PathResolver(env, platform, with_dram_jitter=False)
+    executor = TransactionExecutor(env)
+    near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+    path = resolver.dram_path(0, near)
+    defaults = dict(
+        op=OpKind.READ, workers=1, window=4, count_per_worker=100,
+    )
+    defaults.update(kwargs)
+    return ClosedLoopIssuer(
+        env, executor, path_of_worker=lambda __: path, **defaults
+    )
+
+
+class TestValidation:
+    def test_bad_counts(self, p7302):
+        with pytest.raises(ConfigurationError):
+            build_issuer(p7302, workers=0)
+        with pytest.raises(ConfigurationError):
+            build_issuer(p7302, window=0)
+
+    def test_bad_rate(self, p7302):
+        with pytest.raises(ConfigurationError):
+            build_issuer(p7302, rate_gbps=0.0)
+
+    def test_bad_warmup(self, p7302):
+        with pytest.raises(ConfigurationError):
+            build_issuer(p7302, warmup_fraction=1.0)
+
+
+class TestBehaviour:
+    def test_unpaced_run_collects_samples(self, p7302):
+        result = build_issuer(p7302).run()
+        # ~10% warmup discarded (rounded per issue lane).
+        assert 85 <= result.stats.count <= 95
+        assert result.offered_gbps is None
+        assert result.achieved_gbps > 0
+
+    def test_pacing_bounds_achieved_rate(self, p7302):
+        result = build_issuer(
+            p7302, rate_gbps=2.0, count_per_worker=400
+        ).run()
+        assert result.achieved_gbps == pytest.approx(2.0, rel=0.05)
+
+    def test_window_one_is_pointer_chase(self, p7302):
+        result = build_issuer(p7302, window=1).run()
+        near = p7302.umcs_at(0, Position.NEAR)[0].umc_id
+        assert result.stats.mean == pytest.approx(
+            p7302.dram_latency_ns(0, near), rel=0.01
+        )
+        assert result.stats.std == pytest.approx(0.0, abs=1e-6)
+
+    def test_larger_window_raises_throughput(self, p7302):
+        slow = build_issuer(p7302, window=1).run()
+        fast = build_issuer(p7302, window=8).run()
+        assert fast.achieved_gbps > 2 * slow.achieved_gbps
+
+    def test_low_offered_load_keeps_latency_unloaded(self, p7302):
+        result = build_issuer(
+            p7302, window=8, rate_gbps=1.0, count_per_worker=200
+        ).run()
+        near = p7302.umcs_at(0, Position.NEAR)[0].umc_id
+        assert result.stats.mean == pytest.approx(
+            p7302.dram_latency_ns(0, near), rel=0.02
+        )
+
+    def test_multiple_workers_share_pacing(self, p7302):
+        result = build_issuer(
+            p7302, workers=2, rate_gbps=4.0, count_per_worker=300
+        ).run()
+        # Aggregate rate (not per worker) must match the offered rate.
+        assert result.achieved_gbps == pytest.approx(4.0, rel=0.05)

@@ -1,0 +1,133 @@
+"""Tests for the microbenchmark utility."""
+
+import pytest
+
+from repro.core.flows import Scope
+from repro.core.microbench import MicroBench
+from repro.errors import ConfigurationError
+from repro.memory.cache import MemoryLevel
+from repro.platform.numa import Position
+from repro.transport.message import OpKind
+from repro.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def bench7(p7302):
+    return MicroBench(p7302)
+
+
+@pytest.fixture(scope="module")
+def bench9(p9634):
+    return MicroBench(p9634)
+
+
+class TestPointerChase:
+    def test_l1_resolution(self, bench7):
+        level, stats = bench7.pointer_chase(16 * KIB, iterations=200)
+        assert level is MemoryLevel.L1
+        assert stats.mean == pytest.approx(1.24, rel=0.05)
+
+    def test_l2_resolution(self, bench7):
+        level, stats = bench7.pointer_chase(256 * KIB, iterations=200)
+        assert level is MemoryLevel.L2
+        assert stats.mean == pytest.approx(5.66, rel=0.05)
+
+    def test_l3_resolution(self, bench7):
+        level, stats = bench7.pointer_chase(8 * MIB, iterations=200)
+        assert level is MemoryLevel.L3
+        assert stats.mean == pytest.approx(34.3, rel=0.05)
+
+    def test_dram_near(self, bench7):
+        level, stats = bench7.pointer_chase(64 * MIB, iterations=600)
+        assert level is MemoryLevel.DRAM
+        assert stats.mean == pytest.approx(124.0, rel=0.03)
+
+    def test_dram_position_ordering(self, bench9):
+        means = {}
+        for position in Position:
+            __, stats = bench9.pointer_chase(
+                256 * MIB, position=position, iterations=400
+            )
+            means[position] = stats.mean
+        assert means[Position.NEAR] < means[Position.VERTICAL]
+        assert means[Position.VERTICAL] < means[Position.HORIZONTAL]
+        assert means[Position.DIAGONAL] < means[Position.HORIZONTAL]
+
+    def test_cxl_chase(self, bench9):
+        __, stats = bench9.pointer_chase(
+            256 * MIB, target="cxl", iterations=400
+        )
+        assert stats.mean == pytest.approx(243.0, rel=0.03)
+
+    def test_too_few_iterations_rejected(self, bench7):
+        with pytest.raises(ConfigurationError):
+            bench7.pointer_chase(64 * MIB, iterations=5)
+
+    def test_unknown_target_rejected(self, bench7):
+        with pytest.raises(ConfigurationError):
+            bench7.pointer_chase(64 * MIB, target="hbm")
+
+
+class TestQueueingProbe:
+    def test_ccx_probe_near_calibration(self, bench7):
+        probe = bench7.queueing_probe(Scope.CCX)
+        assert probe["ccx_max_wait_ns"] == pytest.approx(30.0, abs=3.0)
+
+    def test_ccd_probe_near_calibration(self, bench7):
+        probe = bench7.queueing_probe(Scope.CCD)
+        assert probe["ccd_max_wait_ns"] == pytest.approx(20.0, abs=3.0)
+
+    def test_9634_has_no_ccd_row(self, bench9):
+        probe = bench9.queueing_probe(Scope.CCX)
+        assert "ccd_max_wait_ns" not in probe
+        assert probe["ccx_max_wait_ns"] == pytest.approx(20.0, abs=3.0)
+
+    def test_invalid_scope_rejected(self, bench7):
+        with pytest.raises(ConfigurationError):
+            bench7.queueing_probe(Scope.CPU)
+
+
+class TestStreamBandwidth:
+    def test_scaling_is_monotonic(self, bench9):
+        values = [
+            bench9.stream_bandwidth(scope, OpKind.READ)
+            for scope in (Scope.CORE, Scope.CCX, Scope.CPU)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_writes_below_reads(self, bench7):
+        for scope in Scope:
+            read = bench7.stream_bandwidth(scope, OpKind.READ)
+            write = bench7.stream_bandwidth(scope, OpKind.NT_WRITE)
+            assert write < read
+
+    def test_cxl_below_dram(self, bench9):
+        for scope in Scope:
+            dram = bench9.stream_bandwidth(scope, OpKind.READ)
+            cxl = bench9.stream_bandwidth(scope, OpKind.READ, target="cxl")
+            assert cxl < dram
+
+
+class TestLoadedLatency:
+    def test_low_load_near_unloaded(self, bench7, p7302):
+        cores = [c.core_id for c in p7302.cores_of_ccd(0)]
+        result = bench7.loaded_latency(
+            cores, OpKind.READ, offered_gbps=3.0, transactions_per_core=150
+        )
+        near = p7302.dram_latency_at(0, Position.NEAR)
+        assert result.stats.mean == pytest.approx(near, rel=0.05)
+
+    def test_saturation_raises_latency(self, bench7, p7302):
+        cores = [c.core_id for c in p7302.cores_of_ccd(0)]
+        low = bench7.loaded_latency(
+            cores, OpKind.READ, offered_gbps=3.0, transactions_per_core=150
+        )
+        high = bench7.loaded_latency(
+            cores, OpKind.READ, offered_gbps=None, transactions_per_core=150
+        )
+        assert high.stats.mean > 1.2 * low.stats.mean
+        assert high.achieved_gbps > low.achieved_gbps
+
+    def test_unknown_target_rejected(self, bench7):
+        with pytest.raises(ConfigurationError):
+            bench7.loaded_latency([0], OpKind.READ, 1.0, target="hbm")

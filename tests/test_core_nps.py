@@ -1,0 +1,71 @@
+"""Tests for NPS (nodes-per-socket) interleave semantics (§3.1)."""
+
+import pytest
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import Scope
+from repro.core.microbench import MicroBench
+from repro.platform.numa import NpsMode
+from repro.transport.message import OpKind
+
+
+@pytest.fixture(scope="module")
+def fabric7(p7302):
+    return FabricModel(p7302)
+
+
+class TestInterleaveSets:
+    def test_nps1_uses_every_channel(self, fabric7, p7302):
+        assert fabric7.umc_ids_for_nps(0, NpsMode.NPS1) == sorted(p7302.umcs)
+
+    def test_nps4_uses_near_group_only(self, fabric7, p7302):
+        from repro.platform.numa import Position
+
+        near = sorted(u.umc_id for u in p7302.umcs_at(0, Position.NEAR))
+        assert fabric7.umc_ids_for_nps(0, NpsMode.NPS4) == near
+
+    def test_nps2_is_between(self, fabric7):
+        nps1 = set(fabric7.umc_ids_for_nps(0, NpsMode.NPS1))
+        nps2 = set(fabric7.umc_ids_for_nps(0, NpsMode.NPS2))
+        nps4 = set(fabric7.umc_ids_for_nps(0, NpsMode.NPS4))
+        assert nps4 < nps2 < nps1
+
+    def test_nps2_sides_differ_per_chiplet(self, fabric7, p7302):
+        # CCD0 sits at x=0, CCD1 at x=2: their NPS2 halves must differ.
+        left = set(fabric7.umc_ids_for_nps(0, NpsMode.NPS2))
+        right = set(fabric7.umc_ids_for_nps(1, NpsMode.NPS2))
+        assert left != right
+        assert left | right == set(p7302.umcs)
+
+    def test_every_chiplet_has_a_nonempty_domain(self, fabric7, p7302):
+        for nps in NpsMode:
+            for ccd_id in p7302.ccds:
+                assert fabric7.umc_ids_for_nps(ccd_id, nps)
+
+
+class TestNpsBandwidthEffects:
+    def test_local_interleave_fastest_per_core(self, p7302):
+        # NPS4 keeps a single core's stream at its near DIMMs (lowest
+        # latency → highest MLP-bound rate); NPS1's average position is
+        # farther, so the per-core ceiling drops — Implication #1's
+        # "more granular non-uniform memory access".
+        bench = MicroBench(p7302)
+        rates = {
+            nps: bench.stream_bandwidth(Scope.CORE, OpKind.READ, nps=nps)
+            for nps in NpsMode
+        }
+        assert rates[NpsMode.NPS4] > rates[NpsMode.NPS2] > rates[NpsMode.NPS1]
+
+    def test_cpu_scope_unaffected_by_nps(self, p9634):
+        # Whole-CPU streams bind on the NoC whatever the interleave.
+        bench = MicroBench(p9634)
+        nps1 = bench.stream_bandwidth(Scope.CPU, OpKind.READ, nps=NpsMode.NPS1)
+        assert nps1 == pytest.approx(366.2, rel=0.02)
+
+    def test_nps4_concentrates_on_fewer_channels(self, p7302):
+        # A whole-CCD stream under NPS4 hits only its two near channels;
+        # their service rate (2 x 21.1) still exceeds the GMI port, so the
+        # chiplet keeps its 32.5 GB/s — locality costs nothing here.
+        bench = MicroBench(p7302)
+        nps4 = bench.stream_bandwidth(Scope.CCD, OpKind.READ, nps=NpsMode.NPS4)
+        assert nps4 == pytest.approx(32.5, rel=0.02)

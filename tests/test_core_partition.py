@@ -1,0 +1,106 @@
+"""Tests for competing-flow drivers (Figure 4/6 machinery)."""
+
+import pytest
+
+from repro.core.partition import CompetingFlows, InterferenceLink, contend
+from repro.errors import ConfigurationError
+from repro.fluid.solver import Policy
+from repro.transport.message import OpKind
+
+
+class TestContend:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            contend(10.0, {})
+
+    def test_undersubscribed_everyone_happy(self):
+        alloc = contend(20.0, {"a": 5.0, "b": 8.0})
+        assert alloc == pytest.approx({"a": 5.0, "b": 8.0})
+
+    def test_oversubscribed_proportional(self):
+        alloc = contend(20.0, {"a": 10.0, "b": 30.0})
+        assert alloc["a"] == pytest.approx(5.0)
+        assert alloc["b"] == pytest.approx(15.0)
+
+    def test_max_min_policy(self):
+        alloc = contend(20.0, {"a": 6.0, "b": 30.0}, Policy.MAX_MIN)
+        assert alloc["a"] == pytest.approx(6.0)
+        assert alloc["b"] == pytest.approx(14.0)
+
+    def test_three_flows_fill_capacity(self):
+        alloc = contend(30.0, {"a": 20.0, "b": 20.0, "c": 20.0})
+        assert sum(alloc.values()) == pytest.approx(30.0)
+
+
+class TestCompetingFlows:
+    def test_oversubscribed_flag(self):
+        outcome = CompetingFlows(
+            "case", {"f0": 12.0, "f1": 12.0}, {"f0": 10.0, "f1": 10.0}, 20.0
+        )
+        assert outcome.oversubscribed
+        assert outcome.equal_share() == pytest.approx(10.0)
+
+    def test_undersubscribed_flag(self):
+        outcome = CompetingFlows(
+            "case", {"f0": 5.0, "f1": 5.0}, {"f0": 5.0, "f1": 5.0}, 20.0
+        )
+        assert not outcome.oversubscribed
+
+
+class TestInterferenceLink:
+    def test_no_interference_below_saturation(self):
+        link = InterferenceLink("l", read_cap_gbps=30.0, write_cap_gbps=20.0)
+        solo = link.frontend_achieved(OpKind.READ, 10.0, OpKind.READ, 0.0)
+        light = link.frontend_achieved(OpKind.READ, 10.0, OpKind.READ, 15.0)
+        assert solo == pytest.approx(10.0)
+        assert light == pytest.approx(10.0)
+
+    def test_interference_beyond_saturation(self):
+        link = InterferenceLink("l", read_cap_gbps=30.0, write_cap_gbps=20.0)
+        heavy = link.frontend_achieved(OpKind.READ, 10.0, OpKind.READ, 25.0)
+        assert heavy == pytest.approx(5.0)  # paced Y keeps 25, X gets residual
+
+    def test_directions_are_isolated_without_slots(self):
+        link = InterferenceLink("l", read_cap_gbps=30.0, write_cap_gbps=20.0)
+        achieved = link.frontend_achieved(
+            OpKind.NT_WRITE, 18.0, OpKind.READ, 29.0
+        )
+        assert achieved == pytest.approx(18.0)
+
+    def test_slots_couple_reads_and_writes(self):
+        link = InterferenceLink(
+            "l", read_cap_gbps=100.0, write_cap_gbps=100.0,
+            slot_cap_gbps=30.0, write_slot_weight=0.5,
+        )
+        # X writes at 20 → slot load 10; Y reads saturate slots beyond 20.
+        unaffected = link.frontend_achieved(
+            OpKind.NT_WRITE, 20.0, OpKind.READ, 19.0
+        )
+        affected = link.frontend_achieved(
+            OpKind.NT_WRITE, 20.0, OpKind.READ, 25.0
+        )
+        assert unaffected == pytest.approx(20.0)
+        assert affected < 20.0
+
+    def test_knee_detection(self):
+        link = InterferenceLink("l", read_cap_gbps=30.0, write_cap_gbps=20.0)
+        knee = link.interference_knee_gbps(
+            OpKind.READ, 10.0, OpKind.READ, y_max_gbps=40.0
+        )
+        assert knee == pytest.approx(20.0, abs=0.5)
+
+    def test_no_knee_returns_none(self):
+        link = InterferenceLink("l", read_cap_gbps=30.0, write_cap_gbps=20.0)
+        knee = link.interference_knee_gbps(
+            OpKind.NT_WRITE, 15.0, OpKind.READ, y_max_gbps=29.0
+        )
+        assert knee is None
+
+    def test_invalid_slot_weight(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceLink("l", 10.0, 10.0, write_slot_weight=0.0)
+
+    def test_invalid_ceiling(self):
+        link = InterferenceLink("l", 10.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            link.frontend_achieved(OpKind.READ, 0.0, OpKind.READ, 1.0)

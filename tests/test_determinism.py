@@ -1,0 +1,55 @@
+"""Determinism guarantees: same seed, same results, bit for bit."""
+
+import pytest
+
+from repro.core.microbench import MicroBench
+from repro.experiments import fig5, table2, table3
+from repro.transport.message import OpKind
+from repro.units import MIB
+
+
+class TestSeededReproducibility:
+    def test_pointer_chase_identical_across_runs(self, p9634):
+        a = MicroBench(p9634, seed=7).pointer_chase(64 * MIB, iterations=300)
+        b = MicroBench(p9634, seed=7).pointer_chase(64 * MIB, iterations=300)
+        assert a[1].mean == b[1].mean
+        assert a[1].p999 == b[1].p999
+
+    def test_different_seeds_differ(self, p9634):
+        a = MicroBench(p9634, seed=7).pointer_chase(64 * MIB, iterations=300)
+        b = MicroBench(p9634, seed=8).pointer_chase(64 * MIB, iterations=300)
+        assert a[1].p999 != b[1].p999
+
+    def test_table2_identical_across_runs(self, p7302):
+        a = table2.run(p7302, iterations=300, seed=3)
+        b = table2.run(p7302, iterations=300, seed=3)
+        assert a.as_dict() == b.as_dict()
+
+    def test_table3_is_deterministic(self, p9634):
+        a = table3.run(p9634)
+        b = table3.run(p9634)
+        assert a.cells == b.cells
+
+    def test_fig5_traces_identical(self, p9634):
+        a = fig5.run(p9634, "if", duration_s=2.0, dt_s=0.02)
+        b = fig5.run(p9634, "if", duration_s=2.0, dt_s=0.02)
+        assert a.traces["flow1"].achieved_gbps == b.traces["flow1"].achieved_gbps
+
+    def test_loaded_latency_identical(self, p7302):
+        kwargs = dict(
+            core_ids=[0, 1], op=OpKind.READ, offered_gbps=8.0,
+            transactions_per_core=200,
+        )
+        a = MicroBench(p7302, seed=11).loaded_latency(**kwargs)
+        b = MicroBench(p7302, seed=11).loaded_latency(**kwargs)
+        assert a.stats.mean == b.stats.mean
+        assert a.stats.p999 == b.stats.p999
+        assert a.achieved_gbps == b.achieved_gbps
+
+    def test_multikernel_des_identical(self, p7302):
+        from repro.osdesign.simulate import simulate_multikernel
+
+        a = simulate_multikernel(p7302, 5.0, updates=200, seed=2)
+        b = simulate_multikernel(p7302, 5.0, updates=200, seed=2)
+        assert a.visibility.mean == b.visibility.mean
+        assert a.achieved_mops == b.achieved_mops

@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.TopologyError,
+        errors.SimulationError,
+        errors.ConvergenceError,
+        errors.MeasurementError,
+    ],
+)
+def test_all_derive_from_chiplet_error(exc):
+    assert issubclass(exc, errors.ChipletError)
+
+
+def test_chiplet_error_is_exception():
+    assert issubclass(errors.ChipletError, Exception)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ChipletError):
+        raise errors.TopologyError("no such link")
+
+
+def test_distinct_types():
+    # Sibling error types must not catch each other.
+    with pytest.raises(errors.SimulationError):
+        try:
+            raise errors.SimulationError("boom")
+        except errors.ConfigurationError:  # pragma: no cover
+            pytest.fail("wrong handler caught the error")

@@ -1,0 +1,88 @@
+"""Failure-injection tests: degraded links and their blast radius."""
+
+import pytest
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import Scope, StreamSpec
+from repro.errors import ConfigurationError
+from repro.transport.message import OpKind
+
+
+def _cpu_read_gbps(fabric, platform):
+    cores = StreamSpec.cores_for_scope(platform, Scope.CPU)
+    spec = StreamSpec("scan", OpKind.READ, cores)
+    return fabric.achieved_gbps([spec])["scan"]
+
+
+class TestDerates:
+    def test_validation(self, p7302):
+        with pytest.raises(ConfigurationError):
+            FabricModel(p7302, derates={"gmi0:r": 0.0})
+        with pytest.raises(ConfigurationError):
+            FabricModel(p7302, derates={"gmi0:r": 1.5})
+        with pytest.raises(ConfigurationError):
+            FabricModel(p7302, derates={"nonexistent:r": 0.5})
+
+    def test_derated_channel_capacity(self, p7302):
+        fabric = FabricModel(p7302, derates={"gmi0:r": 0.5})
+        assert fabric.channel("gmi0:r").capacity_gbps == pytest.approx(
+            32.5 * 0.5
+        )
+        assert fabric.channel("gmi1:r").capacity_gbps == pytest.approx(32.5)
+
+    def test_gmi_failure_halves_one_chiplet(self, p7302):
+        healthy = FabricModel(p7302)
+        degraded = FabricModel(p7302, derates={"gmi0:r": 0.5})
+        cores = tuple(c.core_id for c in p7302.cores_of_ccd(0))
+        spec = StreamSpec("scan", OpKind.READ, cores)
+        assert degraded.achieved_gbps([spec])["scan"] == pytest.approx(
+            healthy.achieved_gbps([spec])["scan"] / 2, rel=0.05
+        )
+
+    def test_gmi_failure_does_not_hurt_other_chiplets(self, p7302):
+        degraded = FabricModel(p7302, derates={"gmi0:r": 0.5})
+        cores = tuple(c.core_id for c in p7302.cores_of_ccd(1))
+        spec = StreamSpec("scan", OpKind.READ, cores)
+        assert degraded.achieved_gbps([spec])["scan"] == pytest.approx(
+            32.5, rel=0.02
+        )
+
+    def test_noc_degradation_caps_whole_cpu(self, p9634):
+        healthy = _cpu_read_gbps(FabricModel(p9634), p9634)
+        degraded = _cpu_read_gbps(
+            FabricModel(p9634, derates={"noc:r": 0.75}), p9634
+        )
+        assert degraded == pytest.approx(healthy * 0.75, rel=0.02)
+
+    def test_one_umc_failure_shifts_not_kills(self, p7302):
+        # A half-speed memory channel under NPS1 interleave: the aggregate
+        # is bound by that channel's share of the stripes.
+        healthy = _cpu_read_gbps(FabricModel(p7302), p7302)
+        degraded = _cpu_read_gbps(
+            FabricModel(p7302, derates={"umc0:r": 0.5}), p7302
+        )
+        assert degraded < healthy
+        assert degraded > healthy * 0.5
+
+    def test_cxl_device_derate(self, p9634):
+        healthy = FabricModel(p9634)
+        degraded = FabricModel(p9634, derates={"cxldev0:r": 0.5})
+        cores = StreamSpec.cores_for_scope(p9634, Scope.CPU)
+        spec = StreamSpec("tier", OpKind.READ, cores, target="cxl")
+        assert (
+            degraded.achieved_gbps([spec])["tier"]
+            < healthy.achieved_gbps([spec])["tier"]
+        )
+
+    def test_manager_adapts_to_degradation(self, p9634):
+        # The traffic manager allocates against the *degraded* fabric, so
+        # grants stay feasible after a failure.
+        from repro.manager.manager import TrafficManager
+
+        degraded = FabricModel(p9634, derates={"gmi0:r": 0.4})
+        manager = TrafficManager(degraded)
+        cores = tuple(c.core_id for c in p9634.cores_of_ccd(0))
+        manager.register(StreamSpec("a", OpKind.READ, cores[:3]))
+        manager.register(StreamSpec("b", OpKind.READ, cores[3:]))
+        grants = manager.allocate().grants_gbps
+        assert sum(grants.values()) <= 35.2 * 0.4 * 1.01

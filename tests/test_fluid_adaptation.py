@@ -1,0 +1,100 @@
+"""Tests for rate adaptation dynamics."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid.adaptation import (
+    FirstOrderAdaptation,
+    InstantAdaptation,
+    SecondOrderAdaptation,
+)
+
+
+class TestInstant:
+    def test_jumps_to_target(self):
+        model = InstantAdaptation()
+        model.reset(0.0)
+        assert model.step(15.0, 0.001) == 15.0
+
+
+class TestFirstOrder:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FirstOrderAdaptation(0.0)
+
+    def test_converges_toward_target(self):
+        model = FirstOrderAdaptation(tau_s=0.05)
+        model.reset(0.0)
+        values = [model.step(10.0, 0.01) for __ in range(100)]
+        assert values[-1] == pytest.approx(10.0, abs=1e-3)
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_one_tau_is_63_percent(self):
+        model = FirstOrderAdaptation(tau_s=0.1)
+        model.reset(0.0)
+        value = model.step(1.0, 0.1)
+        assert value == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_step_size_independence(self):
+        # The exact exponential update must not depend on dt granularity.
+        coarse = FirstOrderAdaptation(0.1)
+        coarse.reset(0.0)
+        coarse_val = coarse.step(1.0, 0.2)
+        fine = FirstOrderAdaptation(0.1)
+        fine.reset(0.0)
+        for __ in range(200):
+            fine_val = fine.step(1.0, 0.001)
+        assert coarse_val == pytest.approx(fine_val, rel=1e-2)
+
+    def test_from_settling_time(self):
+        # 90% of a unit step must be reached at the configured settle time.
+        model = FirstOrderAdaptation.from_settling_time(0.1)
+        model.reset(0.0)
+        steps = 100
+        for __ in range(steps):
+            value = model.step(1.0, 0.1 / steps)
+        assert value == pytest.approx(0.9, abs=0.01)
+
+    def test_tracks_downward(self):
+        model = FirstOrderAdaptation(0.05)
+        model.reset(20.0)
+        for __ in range(200):
+            value = model.step(5.0, 0.01)
+        assert value == pytest.approx(5.0, abs=1e-3)
+
+
+class TestSecondOrder:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SecondOrderAdaptation(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SecondOrderAdaptation(10.0, 0.0)
+
+    def test_underdamped_overshoots(self):
+        model = SecondOrderAdaptation(omega_rad_s=20.0, zeta=0.15)
+        model.reset(0.0)
+        values = [model.step(10.0, 0.001) for __ in range(3000)]
+        assert max(values) > 10.5  # rings past the target
+        assert values[-1] == pytest.approx(10.0, abs=0.2)  # eventually settles
+
+    def test_overdamped_does_not_overshoot(self):
+        model = SecondOrderAdaptation(omega_rad_s=20.0, zeta=2.0)
+        model.reset(0.0)
+        values = [model.step(10.0, 0.001) for __ in range(5000)]
+        assert max(values) <= 10.0 + 1e-6
+
+    def test_never_negative(self):
+        model = SecondOrderAdaptation(omega_rad_s=30.0, zeta=0.05)
+        model.reset(20.0)
+        values = [model.step(0.5, 0.001) for __ in range(5000)]
+        assert min(values) >= 0.0
+
+    def test_oscillation_amplitude_grows_with_lower_damping(self):
+        def peak(zeta):
+            model = SecondOrderAdaptation(omega_rad_s=20.0, zeta=zeta)
+            model.reset(0.0)
+            return max(model.step(10.0, 0.001) for __ in range(3000))
+
+        assert peak(0.1) > peak(0.5) > peak(1.5)

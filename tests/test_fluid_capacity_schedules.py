@@ -1,0 +1,95 @@
+"""Tests for time-varying channel capacity (thermal throttling etc.)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid.adaptation import FirstOrderAdaptation
+from repro.fluid.solver import Channel, FluidFlow
+from repro.fluid.timeseries import DemandSchedule, FluidSimulator
+
+
+def build(capacity_schedules=None, adaptations=None):
+    channel = Channel("plink", 20.0)
+    flows = [
+        FluidFlow("a", 100.0, elastic=True).add(channel),
+        FluidFlow("b", 100.0, elastic=True).add(channel),
+    ]
+    schedules = {
+        "a": DemandSchedule(100.0),
+        "b": DemandSchedule(100.0),
+    }
+    return FluidSimulator(
+        flows, schedules,
+        adaptations=adaptations,
+        dt_s=0.01,
+        capacity_schedules=capacity_schedules,
+    )
+
+
+class TestValidation:
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build(capacity_schedules={"ghost": DemandSchedule(1.0)})
+
+    def test_zero_factor_rejected_at_runtime(self):
+        sim = build(
+            capacity_schedules={
+                "plink": DemandSchedule(1.0, ((0.5, 1.0, -1.0),))
+            }
+        )
+        with pytest.raises(ConfigurationError):
+            sim.run(1.0)
+
+
+class TestThrottling:
+    def test_capacity_drop_shrinks_both_flows(self):
+        sim = build(
+            capacity_schedules={
+                # 40% thermal throttle during [1s, 2s).
+                "plink": DemandSchedule(1.0, ((1.0, 2.0, -0.4),))
+            }
+        )
+        traces = sim.run(3.0)
+        a = traces["a"].achieved_series()
+        assert a.mean_between(0.2, 0.9) == pytest.approx(10.0)
+        assert a.mean_between(1.2, 1.9) == pytest.approx(6.0)
+        assert a.mean_between(2.2, 3.0) == pytest.approx(10.0)
+
+    def test_total_respects_throttled_capacity(self):
+        sim = build(
+            capacity_schedules={
+                "plink": DemandSchedule(1.0, ((1.0, 2.0, -0.5),))
+            }
+        )
+        traces = sim.run(3.0)
+        for t, a, b in zip(
+            traces["a"].times_s,
+            traces["a"].achieved_gbps,
+            traces["b"].achieved_gbps,
+        ):
+            limit = 10.0 if 1.0 <= t < 2.0 else 20.0
+            assert a + b <= limit + 1e-6
+
+    def test_recovery_lag_with_adaptation(self):
+        adaptations = {
+            "a": FirstOrderAdaptation.from_settling_time(0.3),
+            "b": FirstOrderAdaptation.from_settling_time(0.3),
+        }
+        sim = build(
+            capacity_schedules={
+                "plink": DemandSchedule(1.0, ((1.0, 2.0, -0.5),))
+            },
+            adaptations=adaptations,
+        )
+        traces = sim.run(3.5)
+        a = traces["a"].achieved_series()
+        # Just after recovery the slow sender has not ramped back yet.
+        assert a.mean_between(2.0, 2.1) < 8.0
+        settle = a.settling_time_s(2.0, target=10.0, tolerance=0.5)
+        assert settle == pytest.approx(0.3, abs=0.1)
+
+    def test_no_schedule_means_static(self):
+        sim = build()
+        traces = sim.run(1.0)
+        values = traces["a"].achieved_series().values
+        assert values.min() == values.max() == pytest.approx(10.0)

@@ -1,0 +1,196 @@
+"""Tests for the fluid bandwidth allocation solver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+
+
+def two_flows(capacity, d0, d1, policy=Policy.DEMAND_PROPORTIONAL, **kwargs):
+    channel = Channel("link", capacity)
+    flows = [
+        FluidFlow("f0", d0, **kwargs).add(channel),
+        FluidFlow("f1", d1, **kwargs).add(channel),
+    ]
+    return solve(flows, policy)
+
+
+class TestValidation:
+    def test_zero_capacity_channel(self):
+        with pytest.raises(ConfigurationError):
+            Channel("x", 0.0)
+
+    def test_negative_demand(self):
+        with pytest.raises(ConfigurationError):
+            FluidFlow("f", -1.0)
+
+    def test_bad_weight(self):
+        channel = Channel("x", 10.0)
+        with pytest.raises(ConfigurationError):
+            FluidFlow("f", 1.0).add(channel, weight=0.0)
+
+    def test_duplicate_flow_names(self):
+        channel = Channel("x", 10.0)
+        flows = [FluidFlow("f", 1.0).add(channel), FluidFlow("f", 2.0).add(channel)]
+        with pytest.raises(ConfigurationError):
+            solve(flows)
+
+    def test_conflicting_channel_objects(self):
+        a = Channel("same", 10.0)
+        b = Channel("same", 20.0)
+        flows = [FluidFlow("f0", 1.0).add(a), FluidFlow("f1", 1.0).add(b)]
+        with pytest.raises(ConfigurationError):
+            solve(flows)
+
+
+class TestFigure4Cases:
+    """The paper's four partitioning cases (§3.5)."""
+
+    def test_case1_undersubscribed(self):
+        alloc = two_flows(20.0, 6.0, 10.0)
+        assert alloc["f0"] == pytest.approx(6.0)
+        assert alloc["f1"] == pytest.approx(10.0)
+
+    def test_case2_aggressive_beats_equal_share(self):
+        alloc = two_flows(20.0, 4.0, 18.0)
+        assert alloc["f1"] > 10.0  # more than the equal share
+        assert alloc["f0"] == pytest.approx(20.0 * 4 / 22)
+        assert alloc["f1"] == pytest.approx(20.0 * 18 / 22)
+
+    def test_case3_equal_demands_split_equally(self):
+        alloc = two_flows(20.0, 16.0, 16.0)
+        assert alloc["f0"] == pytest.approx(10.0)
+        assert alloc["f1"] == pytest.approx(10.0)
+
+    def test_case4_proportional_to_demand(self):
+        alloc = two_flows(20.0, 14.0, 20.0)
+        assert alloc["f1"] > alloc["f0"]
+        assert alloc["f0"] + alloc["f1"] == pytest.approx(20.0)
+        assert alloc["f1"] / alloc["f0"] == pytest.approx(20.0 / 14.0)
+
+
+class TestMaxMin:
+    def test_case2_small_flow_protected(self):
+        alloc = two_flows(20.0, 4.0, 18.0, policy=Policy.MAX_MIN)
+        assert alloc["f0"] == pytest.approx(4.0)
+        assert alloc["f1"] == pytest.approx(16.0)
+
+    def test_case4_equalized(self):
+        alloc = two_flows(20.0, 14.0, 20.0, policy=Policy.MAX_MIN)
+        assert alloc["f0"] == pytest.approx(10.0)
+        assert alloc["f1"] == pytest.approx(10.0)
+
+    def test_three_flows_progressive(self):
+        channel = Channel("link", 30.0)
+        flows = [
+            FluidFlow("small", 5.0).add(channel),
+            FluidFlow("mid", 12.0).add(channel),
+            FluidFlow("big", 40.0).add(channel),
+        ]
+        alloc = solve(flows, Policy.MAX_MIN)
+        assert alloc["small"] == pytest.approx(5.0)
+        assert alloc["mid"] == pytest.approx(12.0)
+        assert alloc["big"] == pytest.approx(13.0)
+
+    def test_pathless_flow_gets_demand(self):
+        alloc = solve([FluidFlow("free", 7.0)], Policy.MAX_MIN)
+        assert alloc["free"] == pytest.approx(7.0)
+
+
+class TestElasticSemantics:
+    def test_paced_flow_keeps_rate_against_elastic(self):
+        # Figure 5: the throttled (paced) flow keeps its rate; the
+        # unthrottled (elastic) flow absorbs exactly the residual.
+        channel = Channel("link", 20.0)
+        flows = [
+            FluidFlow("paced", 8.0).add(channel),
+            FluidFlow("greedy", 100.0, elastic=True).add(channel),
+        ]
+        alloc = solve(flows)
+        assert alloc["paced"] == pytest.approx(8.0)
+        assert alloc["greedy"] == pytest.approx(12.0)
+
+    def test_elastic_flows_share_residual_proportionally(self):
+        channel = Channel("link", 20.0)
+        flows = [
+            FluidFlow("paced", 5.0).add(channel),
+            FluidFlow("e1", 30.0, elastic=True).add(channel),
+            FluidFlow("e2", 15.0, elastic=True).add(channel),
+        ]
+        alloc = solve(flows)
+        assert alloc["paced"] == pytest.approx(5.0)
+        assert alloc["e1"] + alloc["e2"] == pytest.approx(15.0)
+        assert alloc["e1"] / alloc["e2"] == pytest.approx(2.0)
+
+    def test_all_elastic_equal_windows(self):
+        alloc = two_flows(20.0, 50.0, 50.0, elastic=True)
+        assert alloc["f0"] == pytest.approx(10.0)
+        assert alloc["f1"] == pytest.approx(10.0)
+
+    def test_paced_oversubscription_leaves_nothing(self):
+        channel = Channel("link", 20.0)
+        flows = [
+            FluidFlow("p0", 15.0).add(channel),
+            FluidFlow("p1", 15.0).add(channel),
+            FluidFlow("greedy", 100.0, elastic=True).add(channel),
+        ]
+        alloc = solve(flows)
+        assert alloc["greedy"] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMultiChannel:
+    def test_flow_bound_by_tightest_channel(self):
+        wide = Channel("wide", 100.0)
+        narrow = Channel("narrow", 10.0)
+        flow = FluidFlow("f", 50.0).add(wide).add(narrow)
+        assert solve([flow])["f"] == pytest.approx(10.0)
+
+    def test_weights_scale_load(self):
+        channel = Channel("wire", 34.0)
+        # CXL framing: 68 wire bytes per 64 payload bytes.
+        flow = FluidFlow("f", 100.0).add(channel, weight=68 / 64)
+        assert solve([flow])["f"] == pytest.approx(32.0)
+
+    def test_upstream_throttle_feeds_fifo_share(self):
+        # f0 is clipped to 5 by its private upstream channel, so it arrives
+        # at the shared FIFO at 5 against f1's 50: departures divide 5:50
+        # (open-loop FIFO semantics — an aggressive arrival rate wins, §3.5).
+        private = Channel("private", 5.0)
+        shared = Channel("shared", 20.0)
+        flows = [
+            FluidFlow("f0", 50.0).add(private).add(shared),
+            FluidFlow("f1", 50.0).add(shared),
+        ]
+        alloc = solve(flows)
+        assert alloc["f0"] == pytest.approx(20.0 * 5 / 55)
+        assert alloc["f1"] == pytest.approx(20.0 * 50 / 55)
+
+    def test_max_min_protects_upstream_throttled_flow(self):
+        private = Channel("private", 5.0)
+        shared = Channel("shared", 20.0)
+        flows = [
+            FluidFlow("f0", 50.0).add(private).add(shared),
+            FluidFlow("f1", 50.0).add(shared),
+        ]
+        alloc = solve(flows, Policy.MAX_MIN)
+        assert alloc["f0"] == pytest.approx(5.0)
+        assert alloc["f1"] == pytest.approx(15.0)
+
+    def test_chain_of_bottlenecks(self):
+        a = Channel("a", 30.0)
+        b = Channel("b", 18.0)
+        c = Channel("c", 25.0)
+        flows = [
+            FluidFlow("f0", 20.0).add(a).add(b),
+            FluidFlow("f1", 20.0).add(b).add(c),
+        ]
+        alloc = solve(flows)
+        assert alloc["f0"] + alloc["f1"] == pytest.approx(18.0)
+
+    def test_disjoint_paths_independent(self):
+        a = Channel("a", 10.0)
+        b = Channel("b", 7.0)
+        flows = [FluidFlow("f0", 50.0).add(a), FluidFlow("f1", 50.0).add(b)]
+        alloc = solve(flows)
+        assert alloc["f0"] == pytest.approx(10.0)
+        assert alloc["f1"] == pytest.approx(7.0)

@@ -1,0 +1,84 @@
+"""Tests for weighted max-min allocation (the manager's tenant weights)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+
+
+def weighted_pair(capacity, w0, w1, d0=100.0, d1=100.0):
+    channel = Channel("link", capacity)
+    return [
+        FluidFlow("f0", d0, weight=w0).add(channel),
+        FluidFlow("f1", d1, weight=w1).add(channel),
+    ]
+
+
+class TestWeighted:
+    def test_weights_divide_capacity(self):
+        alloc = solve(weighted_pair(30.0, 2.0, 1.0), Policy.WEIGHTED)
+        assert alloc["f0"] == pytest.approx(20.0)
+        assert alloc["f1"] == pytest.approx(10.0)
+
+    def test_equal_weights_reduce_to_max_min(self):
+        flows_weighted = weighted_pair(30.0, 1.0, 1.0, d0=8.0, d1=100.0)
+        flows_plain = weighted_pair(30.0, 1.0, 1.0, d0=8.0, d1=100.0)
+        weighted = solve(flows_weighted, Policy.WEIGHTED)
+        plain = solve(flows_plain, Policy.MAX_MIN)
+        assert weighted == pytest.approx(plain)
+
+    def test_satisfied_flow_releases_its_share(self):
+        # f0 (weight 3) only wants 6: the rest goes to f1.
+        alloc = solve(
+            weighted_pair(30.0, 3.0, 1.0, d0=6.0, d1=100.0), Policy.WEIGHTED
+        )
+        assert alloc["f0"] == pytest.approx(6.0)
+        assert alloc["f1"] == pytest.approx(24.0)
+
+    def test_max_min_ignores_weights(self):
+        alloc = solve(weighted_pair(30.0, 5.0, 1.0), Policy.MAX_MIN)
+        assert alloc["f0"] == pytest.approx(alloc["f1"])
+
+    def test_invalid_weight_rejected(self):
+        channel = Channel("link", 10.0)
+        flows = [FluidFlow("f", 5.0, weight=0.0).add(channel)]
+        with pytest.raises(ConfigurationError):
+            solve(flows, Policy.WEIGHTED)
+
+    def test_three_tenants(self):
+        channel = Channel("link", 60.0)
+        flows = [
+            FluidFlow("gold", 100.0, weight=3.0).add(channel),
+            FluidFlow("silver", 100.0, weight=2.0).add(channel),
+            FluidFlow("bronze", 100.0, weight=1.0).add(channel),
+        ]
+        alloc = solve(flows, Policy.WEIGHTED)
+        assert alloc["gold"] == pytest.approx(30.0)
+        assert alloc["silver"] == pytest.approx(20.0)
+        assert alloc["bronze"] == pytest.approx(10.0)
+
+    def test_capacity_conserved(self):
+        alloc = solve(weighted_pair(30.0, 7.0, 3.0), Policy.WEIGHTED)
+        assert sum(alloc.values()) == pytest.approx(30.0)
+
+    def test_weighted_on_fabric_manager(self, p9634):
+        # End to end: a gold and a bronze tenant on one chiplet's GMI port.
+        from repro.core.fabric import FabricModel
+        from repro.core.flows import StreamSpec
+        from repro.transport.message import OpKind
+
+        fabric = FabricModel(p9634)
+        cores = [c.core_id for c in p9634.cores_of_ccd(0)]
+        specs = [
+            StreamSpec("gold", OpKind.READ, tuple(cores[:3])),
+            StreamSpec("bronze", OpKind.READ, tuple(cores[3:6])),
+        ]
+        flows = []
+        for spec, weight in zip(specs, (3.0, 1.0)):
+            for flow in fabric.flows_for(spec):
+                flow.weight = weight
+                flows.append(flow)
+        alloc = solve(flows, Policy.WEIGHTED)
+        gold = sum(v for k, v in alloc.items() if k.startswith("gold"))
+        bronze = sum(v for k, v in alloc.items() if k.startswith("bronze"))
+        assert gold == pytest.approx(3 * bronze, rel=0.05)

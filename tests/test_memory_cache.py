@@ -1,0 +1,68 @@
+"""Tests for cache hierarchy resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheHierarchy, MemoryLevel
+from repro.units import KIB, MIB
+
+
+class TestLevelResolution:
+    def test_l1_boundary(self, p7302):
+        hierarchy = CacheHierarchy(p7302)
+        assert hierarchy.level_for(1) is MemoryLevel.L1
+        assert hierarchy.level_for(32 * KIB) is MemoryLevel.L1
+        assert hierarchy.level_for(32 * KIB + 1) is MemoryLevel.L2
+
+    def test_l2_boundary(self, p7302):
+        hierarchy = CacheHierarchy(p7302)
+        assert hierarchy.level_for(512 * KIB) is MemoryLevel.L2
+        assert hierarchy.level_for(512 * KIB + 1) is MemoryLevel.L3
+
+    def test_l3_slice_boundary(self, p7302):
+        # The working set competes for the CCX's slice (16 MiB), not the
+        # whole 128 MiB L3.
+        hierarchy = CacheHierarchy(p7302)
+        assert hierarchy.level_for(16 * MIB) is MemoryLevel.L3
+        assert hierarchy.level_for(16 * MIB + 1) is MemoryLevel.DRAM
+
+    def test_9634_larger_caches(self, p9634):
+        hierarchy = CacheHierarchy(p9634)
+        assert hierarchy.level_for(64 * KIB) is MemoryLevel.L1
+        assert hierarchy.level_for(1 * MIB) is MemoryLevel.L2
+        assert hierarchy.level_for(32 * MIB) is MemoryLevel.L3
+
+    def test_resolution_is_monotonic(self, platform):
+        hierarchy = CacheHierarchy(platform)
+        order = [MemoryLevel.L1, MemoryLevel.L2, MemoryLevel.L3, MemoryLevel.DRAM]
+        previous = 0
+        for size in (2**k for k in range(8, 30)):
+            level = hierarchy.level_for(size)
+            index = order.index(level)
+            assert index >= previous
+            previous = index
+
+    def test_non_positive_rejected(self, platform):
+        hierarchy = CacheHierarchy(platform)
+        with pytest.raises(ConfigurationError):
+            hierarchy.level_for(0)
+
+
+class TestLatency:
+    def test_cache_latencies(self, p9634):
+        hierarchy = CacheHierarchy(p9634)
+        assert hierarchy.latency_ns(MemoryLevel.L1) == pytest.approx(1.19)
+        assert hierarchy.latency_ns(MemoryLevel.L2) == pytest.approx(7.51)
+        assert hierarchy.latency_ns(MemoryLevel.L3) == pytest.approx(40.8)
+
+    def test_latency_ordering(self, platform):
+        hierarchy = CacheHierarchy(platform)
+        l1 = hierarchy.latency_ns(MemoryLevel.L1)
+        l2 = hierarchy.latency_ns(MemoryLevel.L2)
+        l3 = hierarchy.latency_ns(MemoryLevel.L3)
+        assert l1 < l2 < l3
+
+    def test_dram_latency_rejected(self, platform):
+        hierarchy = CacheHierarchy(platform)
+        with pytest.raises(ConfigurationError):
+            hierarchy.latency_ns(MemoryLevel.DRAM)

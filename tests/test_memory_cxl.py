@@ -1,0 +1,97 @@
+"""Tests for CXL FLIT framing and the device model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cxl import CxlDeviceModel, wire_bytes
+from repro.sim.engine import Environment
+from repro.units import CXL_FLIT_LARGE, CXL_FLIT_SMALL
+
+
+class TestWireBytes:
+    def test_cacheline_in_small_flit(self):
+        # One 64 B cacheline rides one 68 B protocol FLIT (§2.3).
+        assert wire_bytes(64, CXL_FLIT_SMALL) == 68
+
+    def test_cacheline_in_large_flit(self):
+        assert wire_bytes(64, CXL_FLIT_LARGE) == 256
+
+    def test_large_flit_packs_multiple_lines(self):
+        # 236 B of slots per 256 B FLIT: 3 cachelines fit in one.
+        assert wire_bytes(192, CXL_FLIT_LARGE) == 256
+        assert wire_bytes(237, CXL_FLIT_LARGE) == 512
+
+    def test_small_flit_per_line(self):
+        assert wire_bytes(128, CXL_FLIT_SMALL) == 136
+
+    def test_exact_multiples(self):
+        assert wire_bytes(236, CXL_FLIT_LARGE) == 256
+        assert wire_bytes(64 * 3, CXL_FLIT_SMALL) == 68 * 3
+
+    def test_invalid_payload(self):
+        with pytest.raises(ConfigurationError):
+            wire_bytes(0)
+
+    def test_invalid_flit_size(self):
+        with pytest.raises(ConfigurationError):
+            wire_bytes(64, 100)
+
+    def test_overhead_small_vs_large_single_line(self):
+        # For cacheline traffic the small FLIT is far more efficient.
+        assert wire_bytes(64, CXL_FLIT_SMALL) < wire_bytes(64, CXL_FLIT_LARGE)
+
+
+class TestDeviceModel:
+    def test_service_charged_on_wire_bytes(self):
+        env = Environment()
+        dev = CxlDeviceModel(
+            env, "cxl0", read_gbps=68.0, write_gbps=68.0,
+            flit_bytes=CXL_FLIT_SMALL, banks=1,
+        )
+
+        def proc():
+            yield from dev.access(64, is_write=False)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(1.0)  # 68 wire bytes at 68 GB/s
+
+    def test_efficiency(self):
+        env = Environment()
+        dev = CxlDeviceModel(
+            env, "cxl0", read_gbps=20.0, write_gbps=20.0,
+            flit_bytes=CXL_FLIT_SMALL,
+        )
+        assert dev.efficiency() == pytest.approx(64 / 68)
+
+    def test_payload_bandwidth_below_wire(self):
+        env = Environment()
+        dev = CxlDeviceModel(
+            env, "cxl0", read_gbps=23.5, write_gbps=23.4,
+            flit_bytes=CXL_FLIT_SMALL, banks=1,
+        )
+
+        def worker():
+            for __ in range(100):
+                yield from dev.access(64, is_write=False)
+
+        for __ in range(4):
+            env.process(worker())
+        env.run()
+        payload = dev.achieved_payload_gbps(False, env.now)
+        assert payload == pytest.approx(23.5 * 64 / 68, rel=0.02)
+
+    def test_invalid_flit_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            CxlDeviceModel(env, "cxl0", 20.0, 20.0, flit_bytes=77)
+
+    def test_access_counter(self):
+        env = Environment()
+        dev = CxlDeviceModel(env, "cxl0", 20.0, 20.0)
+
+        def proc():
+            yield from dev.access(64, is_write=True)
+            yield from dev.access(64, is_write=False)
+
+        env.run(env.process(proc()))
+        assert dev.accesses == 2

@@ -1,0 +1,100 @@
+"""Tests for the UMC service model."""
+
+import pytest
+
+from repro.memory.dram import DramTimingModel
+from repro.memory.umc import UmcServer
+from repro.sim.engine import Environment
+from repro.sim.rng import make_rng
+
+
+class TestService:
+    def test_unloaded_access_time(self):
+        env = Environment()
+        umc = UmcServer(env, "umc0", read_gbps=21.1, write_gbps=19.0, banks=1)
+
+        def proc():
+            yield from umc.access(64, is_write=False)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(64 / 21.1)
+
+    def test_banks_overlap_accesses(self):
+        env = Environment()
+        umc = UmcServer(env, "umc0", read_gbps=20.0, write_gbps=20.0, banks=4)
+
+        def worker():
+            yield from umc.access(64, is_write=False)
+
+        for __ in range(4):
+            env.process(worker())
+        env.run()
+        # Four banks, each at 5 GB/s: all four finish together at 12.8 ns.
+        assert env.now == pytest.approx(64 / 5.0)
+
+    def test_sustained_rate_equals_capacity(self):
+        env = Environment()
+        umc = UmcServer(env, "umc0", read_gbps=21.1, write_gbps=19.0)
+
+        def worker():
+            for __ in range(50):
+                yield from umc.access(64, is_write=False)
+
+        # More concurrent workers than banks: the channel rate binds.
+        for __ in range(32):
+            env.process(worker())
+        env.run()
+        assert umc.achieved_gbps(False, env.now) == pytest.approx(21.1, rel=0.02)
+
+    def test_access_counter(self):
+        env = Environment()
+        umc = UmcServer(env, "umc0", read_gbps=20.0, write_gbps=20.0)
+
+        def proc():
+            for __ in range(5):
+                yield from umc.access(64, is_write=True)
+
+        env.run(env.process(proc()))
+        assert umc.accesses == 5
+
+
+class TestJitter:
+    def test_jitter_extends_service(self):
+        env = Environment()
+        timing = DramTimingModel(
+            bank_conflict_prob=0.0, bank_conflict_min_ns=0, bank_conflict_max_ns=0,
+            refresh_prob=1.0, refresh_min_ns=100.0, refresh_max_ns=100.0,
+        )
+        umc = UmcServer(
+            env, "umc0", read_gbps=64.0, write_gbps=64.0,
+            timing=timing, rng=make_rng(0), banks=1,
+        )
+
+        def proc():
+            yield from umc.access(64, is_write=False)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(101.0)
+
+    def test_stall_blocks_the_bank(self):
+        # A stalled access delays the next one queued on the same bank —
+        # the mechanism behind Figure 3's loaded-tail amplification.
+        env = Environment()
+        timing = DramTimingModel(
+            bank_conflict_prob=0.0, bank_conflict_min_ns=0, bank_conflict_max_ns=0,
+            refresh_prob=1.0, refresh_min_ns=50.0, refresh_max_ns=50.0,
+        )
+        umc = UmcServer(
+            env, "umc0", read_gbps=64.0, write_gbps=64.0,
+            timing=timing, rng=make_rng(0), banks=1,
+        )
+        finish_times = []
+
+        def worker():
+            yield from umc.access(64, is_write=False)
+            finish_times.append(env.now)
+
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        assert finish_times == [pytest.approx(51.0), pytest.approx(102.0)]

@@ -1,0 +1,80 @@
+"""Tests for mesh geometry and XY routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.noc.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(width=3, height=2, x_hop_ns=8.5, y_hop_ns=7.0, turn_ns=5.0)
+
+
+class TestValidation:
+    def test_degenerate_rejected(self):
+        with pytest.raises(TopologyError):
+            Mesh(0, 2, 1.0, 1.0)
+
+    def test_contains(self, mesh):
+        assert mesh.contains((0, 0))
+        assert mesh.contains((2, 1))
+        assert not mesh.contains((3, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_route_outside_raises(self, mesh):
+        with pytest.raises(TopologyError):
+            mesh.route((0, 0), (5, 5))
+
+
+class TestRouting:
+    def test_route_endpoints(self, mesh):
+        path = mesh.route((0, 0), (2, 1))
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 1)
+
+    def test_route_is_xy_order(self, mesh):
+        # All x moves must precede all y moves.
+        path = mesh.route((0, 0), (2, 1))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_route_length_is_manhattan_plus_one(self, mesh):
+        for src in [(0, 0), (1, 1), (2, 0)]:
+            for dst in [(0, 0), (2, 1), (0, 1)]:
+                path = mesh.route(src, dst)
+                assert len(path) == mesh.hop_count(src, dst) + 1
+
+    def test_route_to_self(self, mesh):
+        assert mesh.route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_reverse_direction(self, mesh):
+        path = mesh.route((2, 1), (0, 0))
+        assert path == [(2, 1), (1, 1), (0, 1), (0, 0)]
+
+    def test_adjacent_steps_only(self, mesh):
+        path = mesh.route((0, 1), (2, 0))
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+class TestCosts:
+    def test_straight_x(self, mesh):
+        assert mesh.cost_ns((0, 0), (2, 0)) == pytest.approx(17.0)
+        assert mesh.turns((0, 0), (2, 0)) == 0
+
+    def test_straight_y(self, mesh):
+        assert mesh.cost_ns((0, 0), (0, 1)) == pytest.approx(7.0)
+
+    def test_turn_penalty(self, mesh):
+        assert mesh.turns((0, 0), (1, 1)) == 1
+        assert mesh.cost_ns((0, 0), (1, 1)) == pytest.approx(8.5 + 7.0 + 5.0)
+
+    def test_zero_cost_to_self(self, mesh):
+        assert mesh.cost_ns((1, 0), (1, 0)) == 0.0
+
+    def test_cost_symmetry(self, mesh):
+        assert mesh.cost_ns((0, 0), (2, 1)) == mesh.cost_ns((2, 1), (0, 0))
+
+    def test_express_turn_discount(self):
+        express = Mesh(3, 2, 4.5, 4.0, turn_ns=-0.5)
+        assert express.cost_ns((0, 0), (1, 1)) == pytest.approx(8.0)

@@ -1,0 +1,59 @@
+"""DES-vs-analytic validation of the multikernel model (§4 #2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.osdesign.model import MultikernelDesign
+from repro.osdesign.simulate import simulate_multikernel
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self, p7302):
+        with pytest.raises(ConfigurationError):
+            simulate_multikernel(p7302, 0.0)
+
+
+class TestAgreement:
+    def test_visibility_matches_analytic_at_low_load(self, p7302):
+        design = MultikernelDesign(p7302)
+        run = simulate_multikernel(p7302, 2.0, updates=300)
+        analytic = design.evaluate(2.0)
+        assert run.visibility.mean == pytest.approx(
+            analytic.visibility_ns, rel=0.15
+        )
+
+    def test_visibility_matches_analytic_near_peak(self, p7302):
+        design = MultikernelDesign(p7302)
+        rate = 0.85 * design.max_mops()
+        run = simulate_multikernel(p7302, rate, updates=500)
+        analytic = design.evaluate(rate)
+        assert run.visibility.mean == pytest.approx(
+            analytic.visibility_ns, rel=0.20
+        )
+
+    def test_des_saturates_at_analytic_max(self, p7302):
+        design = MultikernelDesign(p7302)
+        over = simulate_multikernel(p7302, 3 * design.max_mops(), updates=600)
+        # Beyond the analytic ceiling, the DES plateaus right at it.
+        assert over.achieved_mops == pytest.approx(
+            design.max_mops(), rel=0.05
+        )
+        assert not over.sustainable
+
+    def test_latency_explodes_when_oversubscribed(self, p7302):
+        low = simulate_multikernel(p7302, 2.0, updates=300)
+        over = simulate_multikernel(p7302, 150.0, updates=600)
+        assert over.visibility.mean > 5 * low.visibility.mean
+
+    def test_sustainable_below_peak(self, p7302):
+        design = MultikernelDesign(p7302)
+        run = simulate_multikernel(
+            p7302, 0.5 * design.max_mops(), updates=400
+        )
+        assert run.sustainable
+
+    def test_more_replicas_slower_visibility(self, p9634):
+        few = simulate_multikernel(p9634, 2.0, updates=240, replica_ccds=4)
+        many = simulate_multikernel(p9634, 2.0, updates=240, replica_ccds=12)
+        # Broadcast to 11 receivers takes longer to fully apply than to 3.
+        assert many.visibility.mean > few.visibility.mean

@@ -1,0 +1,36 @@
+"""Tests for NUMA position classification and NPS modes."""
+
+from repro.platform.numa import NpsMode, Position, classify_position
+
+
+class TestClassifyPosition:
+    def test_near(self):
+        assert classify_position((1, 1), (1, 1)) is Position.NEAR
+
+    def test_vertical(self):
+        assert classify_position((0, 0), (0, 1)) is Position.VERTICAL
+        assert classify_position((0, 1), (0, 0)) is Position.VERTICAL
+
+    def test_horizontal(self):
+        assert classify_position((0, 0), (2, 0)) is Position.HORIZONTAL
+        assert classify_position((2, 0), (0, 0)) is Position.HORIZONTAL
+
+    def test_diagonal(self):
+        assert classify_position((0, 0), (1, 1)) is Position.DIAGONAL
+        assert classify_position((2, 1), (0, 0)) is Position.DIAGONAL
+
+    def test_symmetry(self):
+        coords = [(0, 0), (1, 0), (0, 1), (2, 1), (1, 1)]
+        for a in coords:
+            for b in coords:
+                assert classify_position(a, b) is classify_position(b, a)
+
+
+class TestNpsMode:
+    def test_values(self):
+        assert NpsMode.NPS1 == 1
+        assert NpsMode.NPS2 == 2
+        assert NpsMode.NPS4 == 4
+
+    def test_ordering(self):
+        assert NpsMode.NPS1 < NpsMode.NPS4

@@ -1,0 +1,125 @@
+"""Tests that the presets encode the paper's Table 1/2 calibration targets."""
+
+import pytest
+
+from repro.platform.numa import Position
+from repro.units import CACHELINE, GIB, KIB, MIB
+
+
+class TestTable1Encoding:
+    def test_7302_table1(self, p7302):
+        spec = p7302.spec
+        assert spec.microarchitecture == "Zen 2"
+        assert spec.l1_bytes == 32 * KIB
+        assert spec.l2_bytes == 512 * KIB
+        assert spec.l3_total_bytes == 128 * MIB
+        assert (spec.cores, spec.ccx_count, spec.ccd_count) == (16, 8, 4)
+        assert (spec.compute_process_nm, spec.io_process_nm) == (7, 12)
+        assert (spec.pcie_gen, spec.pcie_lanes) == (4, 128)
+        assert (spec.base_ghz, spec.turbo_ghz) == (3.0, 3.3)
+
+    def test_9634_table1(self, p9634):
+        spec = p9634.spec
+        assert spec.microarchitecture == "Zen 4"
+        assert spec.l1_bytes == 64 * KIB
+        assert spec.l2_bytes == 1 * MIB
+        assert spec.l3_total_bytes == 384 * MIB
+        assert (spec.cores, spec.ccx_count, spec.ccd_count) == (84, 12, 12)
+        assert (spec.compute_process_nm, spec.io_process_nm) == (5, 6)
+        assert (spec.pcie_gen, spec.pcie_lanes) == (5, 128)
+        assert (spec.base_ghz, spec.turbo_ghz) == (2.25, 3.7)
+
+    def test_9634_has_four_cz120_modules(self, p9634):
+        assert p9634.spec.cxl_device_count == 4
+        assert p9634.spec.cxl_device_capacity_bytes == 256 * GIB
+
+
+class TestLatencyCalibration:
+    """Analytic path sums must land on Table 2 within a small tolerance."""
+
+    @pytest.mark.parametrize(
+        "fixture_name, targets",
+        [
+            ("p7302", {"near": 124.0, "vertical": 131.0,
+                       "horizontal": 141.0, "diagonal": 145.0}),
+            ("p9634", {"near": 141.0, "vertical": 145.0,
+                       "horizontal": 150.0, "diagonal": 149.0}),
+        ],
+    )
+    def test_dram_positions(self, request, fixture_name, targets):
+        platform = request.getfixturevalue(fixture_name)
+        for name, target in targets.items():
+            measured = platform.dram_latency_at(0, Position(name))
+            assert measured == pytest.approx(target, abs=1.0), name
+
+    def test_cxl_243ns(self, p9634):
+        assert p9634.cxl_latency_ns(0) == pytest.approx(243.0, abs=1.0)
+
+    def test_switching_hop(self, p7302, p9634):
+        # Paper: "roughly 8ns and 15ns on the EPYC 7302 (4ns and 15ns ...)".
+        assert p7302.spec.latency.switching_hop_ns == pytest.approx(8.0, abs=0.5)
+        assert p9634.spec.latency.switching_hop_ns == pytest.approx(4.0, abs=0.5)
+
+    def test_io_hub_15ns(self, platform):
+        assert platform.spec.latency.io_hub_ns == pytest.approx(15.0)
+
+    def test_queue_bounds(self, p7302, p9634):
+        assert p7302.spec.latency.ccx_queue_max_ns == 30.0
+        assert p7302.spec.latency.ccd_queue_max_ns == 20.0
+        assert p9634.spec.latency.ccx_queue_max_ns == 20.0
+        assert p9634.spec.latency.ccd_queue_max_ns == 0.0  # N/A
+
+
+class TestBandwidthCalibration:
+    def test_per_core_read_derivation_7302(self, p7302):
+        bw = p7302.spec.bandwidth
+        near = p7302.dram_latency_at(0, Position.NEAR)
+        ceiling = bw.mlp_read * CACHELINE / near
+        assert ceiling == pytest.approx(14.9, abs=0.3)
+
+    def test_per_core_write_derivation_7302(self, p7302):
+        bw = p7302.spec.bandwidth
+        near = p7302.dram_latency_at(0, Position.NEAR)
+        ceiling = bw.wcb_write * CACHELINE / near
+        assert ceiling == pytest.approx(3.6, abs=0.2)
+
+    def test_per_core_read_derivation_9634(self, p9634):
+        bw = p9634.spec.bandwidth
+        near = p9634.dram_latency_at(0, Position.NEAR)
+        assert bw.mlp_read * CACHELINE / near == pytest.approx(14.6, abs=0.3)
+
+    def test_cxl_core_ceilings_9634(self, p9634):
+        bw = p9634.spec.bandwidth
+        cxl = p9634.cxl_latency_ns(0)
+        assert bw.cxl_mlp_read * CACHELINE / cxl == pytest.approx(5.4, abs=0.3)
+        assert bw.cxl_wcb_write * CACHELINE / cxl == pytest.approx(2.8, abs=0.3)
+
+    def test_ccx_pool_only_on_7302(self, p7302, p9634):
+        assert p7302.spec.bandwidth.ccx_read_gbps == pytest.approx(25.1)
+        assert p9634.spec.bandwidth.ccx_read_gbps is None
+
+    def test_noc_binds_below_gmi_sum(self, platform):
+        bw = platform.spec.bandwidth
+        gmi_sum = platform.spec.ccd_count * bw.gmi_read_gbps
+        assert bw.noc_read_gbps < gmi_sum
+
+    def test_umc_sum_exceeds_noc(self, platform):
+        # Memory channels in aggregate are not the whole-CPU bottleneck.
+        bw = platform.spec.bandwidth
+        umc_sum = platform.spec.umc_count * bw.umc_read_gbps
+        assert umc_sum > bw.noc_read_gbps
+
+    def test_cxl_device_pool_payload_rate(self, p9634):
+        bw = p9634.spec.bandwidth
+        framing = 68.0 / 64.0
+        payload_total = (
+            bw.cxl_dev_read_gbps * len(p9634.cxl_devices) / framing
+        )
+        assert payload_total == pytest.approx(88.1, abs=1.0)
+
+    def test_token_counts_below_issue_capability(self, p7302, p9634):
+        bw7 = p7302.spec.bandwidth
+        assert bw7.ccx_tokens < p7302.spec.cores_per_ccx * bw7.mlp_read
+        bw9 = p9634.spec.bandwidth
+        assert bw9.ccx_tokens < p9634.spec.cores_per_ccx * bw9.mlp_read
+        assert bw9.ccd_tokens is None

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+from repro.manager.ratelimit import TokenBucket
+from repro.noc.mesh import Mesh
+from repro.sim.engine import Environment, Resource
+from repro.telemetry.sketch import CountMinSketch
+
+# ------------------------------------------------------------------- solver
+
+demand_lists = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+capacities = st.floats(min_value=0.5, max_value=200.0, allow_nan=False)
+policies = st.sampled_from([Policy.DEMAND_PROPORTIONAL, Policy.MAX_MIN])
+
+
+def build_single_channel(demands, capacity, elastic_mask=None):
+    channel = Channel("link", capacity)
+    flows = []
+    for i, demand in enumerate(demands):
+        elastic = bool(elastic_mask and elastic_mask[i % len(elastic_mask)])
+        flows.append(
+            FluidFlow(f"f{i}", demand, elastic=elastic).add(channel)
+        )
+    return flows
+
+
+class TestSolverProperties:
+    @given(demands=demand_lists, capacity=capacities, policy=policies)
+    @settings(max_examples=150, deadline=None)
+    def test_feasible_and_demand_bounded(self, demands, capacity, policy):
+        flows = build_single_channel(demands, capacity)
+        alloc = solve(flows, policy)
+        total = sum(alloc.values())
+        assert total <= capacity * (1 + 1e-6) + 1e-9
+        for flow in flows:
+            assert alloc[flow.name] <= flow.demand_gbps + 1e-9
+            assert alloc[flow.name] >= -1e-12
+
+    @given(demands=demand_lists, capacity=capacities, policy=policies)
+    @settings(max_examples=100, deadline=None)
+    def test_undersubscribed_gets_exact_demand(self, demands, capacity, policy):
+        total_demand = sum(demands)
+        if total_demand > capacity:
+            scale = capacity / total_demand * 0.9
+            demands = [d * scale for d in demands]
+        flows = build_single_channel(demands, capacity)
+        alloc = solve(flows, policy)
+        for flow in flows:
+            assert alloc[flow.name] == pytest.approx(
+                flow.demand_gbps, abs=1e-6
+            )
+
+    @given(demands=demand_lists, capacity=capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_oversubscribed_fills_capacity(self, demands, capacity):
+        # With aggregate demand above capacity, FIFO wastes nothing.
+        demands = [d + capacity for d in demands]  # force oversubscription
+        flows = build_single_channel(demands, capacity)
+        alloc = solve(flows)
+        assert sum(alloc.values()) == pytest.approx(capacity, rel=1e-6)
+
+    @given(demands=demand_lists, capacity=capacities)
+    @settings(max_examples=100, deadline=None)
+    def test_proportionality_on_congestion(self, demands, capacity):
+        demands = [d + 1.0 for d in demands]
+        total = sum(demands)
+        if total <= capacity:
+            return
+        flows = build_single_channel(demands, capacity)
+        alloc = solve(flows)
+        # Allocation ratios track demand ratios among backlogged flows.
+        for flow in flows:
+            expected = capacity * flow.demand_gbps / total
+            assert alloc[flow.name] == pytest.approx(expected, rel=1e-4)
+
+    @given(
+        demands=demand_lists,
+        capacity=capacities,
+        policy=policies,
+        mask=st.lists(st.booleans(), min_size=1, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_elastic_mix_still_feasible(self, demands, capacity, policy, mask):
+        flows = build_single_channel(demands, capacity, elastic_mask=mask)
+        alloc = solve(flows, policy)
+        assert sum(alloc.values()) <= capacity * (1 + 1e-6) + 1e-9
+
+    @given(demands=demand_lists, capacity=capacities)
+    @settings(max_examples=80, deadline=None)
+    def test_max_min_is_weakly_fairer(self, demands, capacity):
+        flows_prop = build_single_channel(demands, capacity)
+        flows_mm = build_single_channel(demands, capacity)
+        prop = solve(flows_prop)
+        max_min = solve(flows_mm, Policy.MAX_MIN)
+
+        def jain(values):
+            total = sum(values)
+            squares = sum(v * v for v in values)
+            if squares == 0:
+                return 1.0
+            return total * total / (len(values) * squares)
+
+        assert jain(max_min.values()) >= jain(prop.values()) - 1e-6
+
+
+# --------------------------------------------------------------------- mesh
+
+coords = st.tuples(st.integers(0, 5), st.integers(0, 4))
+
+
+class TestMeshProperties:
+    @given(src=coords, dst=coords)
+    @settings(max_examples=200, deadline=None)
+    def test_route_length_is_manhattan(self, src, dst):
+        mesh = Mesh(6, 5, 1.0, 1.0, 0.5)
+        path = mesh.route(src, dst)
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        assert len(path) == manhattan + 1
+        assert path[0] == src and path[-1] == dst
+
+    @given(src=coords, dst=coords)
+    @settings(max_examples=200, deadline=None)
+    def test_route_steps_are_adjacent(self, src, dst):
+        mesh = Mesh(6, 5, 1.0, 1.0, 0.0)
+        path = mesh.route(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(src=coords, dst=coords)
+    @settings(max_examples=200, deadline=None)
+    def test_cost_symmetry_and_triangle_floor(self, src, dst):
+        mesh = Mesh(6, 5, 2.0, 3.0, 1.0)
+        assert mesh.cost_ns(src, dst) == mesh.cost_ns(dst, src)
+        floor = (
+            abs(src[0] - dst[0]) * 2.0 + abs(src[1] - dst[1]) * 3.0
+        )
+        assert mesh.cost_ns(src, dst) >= floor - 1e-12
+
+
+# ------------------------------------------------------------------- sketch
+
+flow_events = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 100)),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestSketchProperties:
+    @given(events=flow_events)
+    @settings(max_examples=100, deadline=None)
+    def test_never_underestimates(self, events):
+        sketch = CountMinSketch(width=64, depth=3)
+        truth = {}
+        for key, count in events:
+            sketch.add(f"flow-{key}", count)
+            truth[key] = truth.get(key, 0) + count
+        for key, count in truth.items():
+            assert sketch.estimate(f"flow-{key}") >= count
+
+    @given(events=flow_events)
+    @settings(max_examples=100, deadline=None)
+    def test_overestimate_bounded(self, events):
+        sketch = CountMinSketch(width=256, depth=4)
+        truth = {}
+        for key, count in events:
+            sketch.add(f"flow-{key}", count)
+            truth[key] = truth.get(key, 0) + count
+        bound = math.e / 256 * sketch.total
+        for key, count in truth.items():
+            estimate = sketch.estimate(f"flow-{key}")
+            # The ε·N bound holds in expectation; conservative update only
+            # tightens it. Allow the deterministic worst case: total mass.
+            assert estimate - count <= sketch.total
+            assert estimate - count <= 4 * bound + 100  # loose but real check
+
+
+# -------------------------------------------------------------- token bucket
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=0.1, max_value=50.0),
+        sizes=st.lists(st.integers(1, 256), min_size=5, max_size=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_long_run_rate_never_exceeded(self, rate, sizes):
+        bucket = TokenBucket(rate, burst_bytes=256.0)
+        now = 0.0
+        total = 0
+        for size in sizes:
+            wait = bucket.consume(now, size)
+            now += wait
+            total += size
+        if now > 0:
+            # Long-run throughput ≤ rate + the one-time burst allowance.
+            assert total <= rate * now + 256.0 + 1e-6
+
+
+# ---------------------------------------------------------------- resources
+
+class TestResourceProperties:
+    @given(
+        capacity=st.integers(1, 6),
+        jobs=st.integers(1, 24),
+        service=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_matches_bin_packing(self, capacity, jobs, service):
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+
+        def worker():
+            with resource.request() as grant:
+                yield grant
+                yield env.timeout(service)
+
+        for __ in range(jobs):
+            env.process(worker())
+        env.run()
+        waves = math.ceil(jobs / capacity)
+        assert env.now == pytest.approx(waves * service)

@@ -1,0 +1,129 @@
+"""Property-based tests on dynamics: adaptation, schedules, fluid runs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.adaptation import FirstOrderAdaptation, SecondOrderAdaptation
+from repro.fluid.solver import Channel, FluidFlow
+from repro.fluid.timeseries import DemandSchedule, FluidSimulator
+
+positive_rates = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+
+
+class TestFirstOrderProperties:
+    @given(
+        tau=st.floats(min_value=0.01, max_value=1.0),
+        target=positive_rates,
+        start=positive_rates,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_approach(self, tau, target, start):
+        model = FirstOrderAdaptation(tau)
+        model.reset(start)
+        previous_gap = abs(start - target)
+        for __ in range(50):
+            value = model.step(target, 0.01)
+            gap = abs(value - target)
+            assert gap <= previous_gap + 1e-9
+            previous_gap = gap
+
+    @given(
+        tau_fast=st.floats(min_value=0.01, max_value=0.1),
+        tau_slow=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_smaller_tau_converges_faster(self, tau_fast, tau_slow):
+        fast = FirstOrderAdaptation(tau_fast)
+        slow = FirstOrderAdaptation(tau_slow)
+        fast.reset(0.0)
+        slow.reset(0.0)
+        for __ in range(20):
+            fast_value = fast.step(10.0, 0.01)
+            slow_value = slow.step(10.0, 0.01)
+        assert fast_value >= slow_value - 1e-9
+
+    @given(tau=st.floats(min_value=0.01, max_value=0.5), target=positive_rates)
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_point_is_target(self, tau, target):
+        model = FirstOrderAdaptation(tau)
+        model.reset(target)
+        assert model.step(target, 0.05) == pytest.approx(target)
+
+
+class TestSecondOrderProperties:
+    @given(
+        omega=st.floats(min_value=5.0, max_value=40.0),
+        zeta=st.floats(min_value=0.05, max_value=2.0),
+        target=positive_rates,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_eventually_settles(self, omega, zeta, target):
+        model = SecondOrderAdaptation(omega, zeta)
+        model.reset(0.0)
+        value = 0.0
+        for __ in range(20000):
+            value = model.step(target, 0.001)
+        assert value == pytest.approx(target, rel=0.05, abs=0.1)
+
+    @given(omega=st.floats(min_value=5.0, max_value=40.0))
+    @settings(max_examples=40, deadline=None)
+    def test_never_negative(self, omega):
+        model = SecondOrderAdaptation(omega, zeta=0.05)
+        model.reset(50.0)
+        values = [model.step(0.5, 0.001) for __ in range(5000)]
+        assert min(values) >= 0.0
+
+
+class TestScheduleProperties:
+    deltas = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),
+            st.floats(min_value=0.1, max_value=3.0),
+            st.floats(min_value=-5.0, max_value=5.0),
+        ).map(lambda t: (t[0], t[0] + t[1], t[2])),
+        max_size=4,
+    )
+
+    @given(base=positive_rates, deltas=deltas)
+    @settings(max_examples=100, deadline=None)
+    def test_never_negative(self, base, deltas):
+        schedule = DemandSchedule(base, tuple(deltas))
+        for t in np.linspace(0, 10, 101):
+            assert schedule.at(float(t)) >= 0.0
+
+    @given(base=positive_rates, deltas=deltas)
+    @settings(max_examples=100, deadline=None)
+    def test_outside_windows_equals_base(self, base, deltas):
+        schedule = DemandSchedule(base, tuple(deltas))
+        horizon = max((end for __, end, __d in deltas), default=0.0)
+        assert schedule.at(horizon + 1.0) == pytest.approx(base)
+
+
+class TestFluidRunProperties:
+    @given(
+        capacity=st.floats(min_value=5.0, max_value=50.0),
+        demand0=positive_rates,
+        demand1=positive_rates,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_instant_runs_conserve_capacity(self, capacity, demand0, demand1):
+        channel = Channel("link", capacity)
+        flows = [
+            FluidFlow("f0", demand0).add(channel),
+            FluidFlow("f1", demand1, elastic=True).add(channel),
+        ]
+        schedules = {
+            "f0": DemandSchedule(demand0),
+            "f1": DemandSchedule(demand1),
+        }
+        sim = FluidSimulator(flows, schedules, dt_s=0.05)
+        traces = sim.run(0.5)
+        total = (
+            traces["f0"].achieved_series().values
+            + traces["f1"].achieved_series().values
+        )
+        assert total.max() <= capacity * (1 + 1e-6)
+        for name, demand in (("f0", demand0), ("f1", demand1)):
+            assert max(traces[name].achieved_gbps) <= demand * (1 + 1e-9)

@@ -1,0 +1,364 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Resource,
+    Store,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_untriggered(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            __ = env.event().value
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        env = Environment()
+        done = env.timeout(25.0)
+        env.run(done)
+        assert env.now == 25.0
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Timeout(env, -1.0)
+
+    def test_zero_delay_allowed(self):
+        env = Environment()
+        env.run(env.timeout(0.0))
+        assert env.now == 0.0
+
+    def test_carries_value(self):
+        env = Environment()
+        assert env.run(env.timeout(1.0, value="payload")) == "payload"
+
+
+class TestProcess:
+    def test_returns_value(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10.0)
+            return "done"
+
+        assert env.run(env.process(proc())) == "done"
+        assert env.now == 10.0
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(3.0)
+            yield env.timeout(4.0)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(7.0)
+
+    def test_receives_event_value(self):
+        env = Environment()
+        received = []
+
+        def proc():
+            value = yield env.timeout(1.0, value=99)
+            received.append(value)
+
+        env.run(env.process(proc()))
+        assert received == [99]
+
+    def test_nested_process(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(5.0)
+            return "inner-result"
+
+        def outer():
+            result = yield env.process(inner())
+            return result + "!"
+
+        assert env.run(env.process(outer())) == "inner-result!"
+
+    def test_failed_event_raises_inside_process(self):
+        env = Environment()
+        caught = []
+
+        def proc():
+            event = env.event()
+            event.fail(ValueError("injected"))
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.run(env.process(proc()))
+        assert caught == ["injected"]
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def proc():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            env.run(env.process(proc()))
+
+    def test_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        first = env.timeout(1.0, value="early")
+
+        def proc():
+            yield env.timeout(5.0)
+            value = yield first  # already fired at t=1
+            return value
+
+        assert env.run(env.process(proc())) == "early"
+        assert env.now == 5.0
+
+
+class TestEnvironment:
+    def test_run_until_time(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(10.0)
+            fired.append(env.now)
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run(until=15.0)
+        assert fired == [10.0]
+        assert env.now == 15.0
+
+    def test_run_until_past_raises(self):
+        env = Environment()
+        env.run(env.timeout(10.0))
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_run_drains_queue(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.timeout(7.0)
+        env.run()
+        assert env.now == 7.0
+
+    def test_step_empty_queue_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(never)
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(5.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_failed_awaited_event_propagates(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+            raise RuntimeError("process blew up")
+
+        with pytest.raises(RuntimeError):
+            env.run(env.process(proc()))
+
+
+class TestCombinators:
+    def test_all_of_waits_for_slowest(self):
+        env = Environment()
+        done = AllOf(env, [env.timeout(3.0, "x"), env.timeout(9.0, "y")])
+        values = env.run(done)
+        assert env.now == 9.0
+        assert values == ["x", "y"]
+
+    def test_all_of_empty(self):
+        env = Environment()
+        done = AllOf(env, [])
+        assert env.run(done) == []
+
+    def test_any_of_fires_on_fastest(self):
+        env = Environment()
+        done = AnyOf(env, [env.timeout(3.0, "fast"), env.timeout(9.0, "slow")])
+        assert env.run(done) == "fast"
+        assert env.now == 3.0
+
+    def test_env_helpers(self):
+        env = Environment()
+        assert isinstance(env.all_of([env.timeout(1)]), AllOf)
+        assert isinstance(env.any_of([env.timeout(1)]), AnyOf)
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        first = res.request()
+        second = res.request()
+        third = res.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert res.count == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        held = res.request()
+        waiter_a = res.request()
+        waiter_b = res.request()
+        res.release(held)
+        assert waiter_a.triggered
+        assert not waiter_b.triggered
+
+    def test_release_foreign_request_rejected(self):
+        env = Environment()
+        res_a = Resource(env)
+        res_b = Resource(env)
+        req = res_a.request()
+        with pytest.raises(SimulationError):
+            res_b.release(req)
+
+    def test_over_release_rejected(self):
+        env = Environment()
+        res = Resource(env)
+        req = res.request()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_mutual_exclusion_in_processes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        active = []
+        overlaps = []
+
+        def worker():
+            with res.request() as grant:
+                yield grant
+                active.append(1)
+                overlaps.append(len(active))
+                yield env.timeout(5.0)
+                active.pop()
+
+        for __ in range(4):
+            env.process(worker())
+        env.run()
+        assert max(overlaps) == 1
+        assert env.now == pytest.approx(20.0)
+
+    def test_parallel_capacity_two(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def worker():
+            with res.request() as grant:
+                yield grant
+                yield env.timeout(5.0)
+
+        for __ in range(4):
+            env.process(worker())
+        env.run()
+        assert env.now == pytest.approx(10.0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer():
+            yield env.timeout(7.0)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [(7.0, "late")]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for __ in range(3)] == [0, 1, 2]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1

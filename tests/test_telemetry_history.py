@@ -1,0 +1,113 @@
+"""Tests for time-bucketed utilization history."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MeasurementError
+from repro.telemetry.history import UtilizationHistory
+
+
+@pytest.fixture
+def history():
+    h = UtilizationHistory(bucket_ns=100.0, max_buckets=8)
+    h.register("gmi0:r", capacity_gbps=32.0)
+    return h
+
+
+class TestValidation:
+    def test_bad_bucket(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationHistory(bucket_ns=0.0)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationHistory(max_buckets=1)
+
+    def test_duplicate_channel(self, history):
+        with pytest.raises(ConfigurationError):
+            history.register("gmi0:r", 10.0)
+
+    def test_unknown_channel(self, history):
+        with pytest.raises(MeasurementError):
+            history.record("ghost", 0.0, 64)
+        with pytest.raises(MeasurementError):
+            history.utilization_series("ghost")
+
+
+class TestAccounting:
+    def test_bucket_utilization(self, history):
+        # 1600 bytes in a 100 ns bucket on a 32 GB/s channel = 50%.
+        history.record("gmi0:r", 10.0, 1600)
+        assert history.utilization_series("gmi0:r") == [pytest.approx(0.5)]
+
+    def test_multiple_buckets(self, history):
+        history.record("gmi0:r", 50.0, 3200)    # bucket 0: full
+        history.record("gmi0:r", 250.0, 800)    # bucket 2: 25%
+        series = history.utilization_series("gmi0:r")
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == 0.0
+        assert series[2] == pytest.approx(0.25)
+
+    def test_utilization_clamped(self, history):
+        history.record("gmi0:r", 0.0, 1_000_000)
+        assert history.peak_utilization("gmi0:r") == 1.0
+
+    def test_window_slides(self, history):
+        history.record("gmi0:r", 0.0, 3200)
+        # Far beyond the 8-bucket window: old buckets are dropped.
+        history.record("gmi0:r", 10_000.0, 1600)
+        series = history.utilization_series("gmi0:r")
+        assert len(series) <= 8
+        assert series[-1] == pytest.approx(0.5)
+        assert 1.0 not in series  # the original full bucket slid out
+
+    def test_mean_and_peak(self, history):
+        history.record("gmi0:r", 0.0, 3200)
+        history.record("gmi0:r", 150.0, 1600)
+        assert history.peak_utilization("gmi0:r") == pytest.approx(1.0)
+        assert history.mean_utilization("gmi0:r") == pytest.approx(0.75)
+
+    def test_empty_channel(self, history):
+        assert history.mean_utilization("gmi0:r") == 0.0
+        assert history.peak_utilization("gmi0:r") == 0.0
+
+
+class TestRendering:
+    def test_sparkline_levels(self, history):
+        history.record("gmi0:r", 0.0, 3200)     # 100%
+        history.record("gmi0:r", 150.0, 1600)   # 50%
+        history.record("gmi0:r", 250.0, 0)      # 0%
+        spark = history.sparkline("gmi0:r")
+        assert spark[0] == "@"
+        assert spark[-1] == " "
+
+    def test_sparkline_width_clips_oldest(self, history):
+        for i in range(6):
+            history.record("gmi0:r", i * 100.0, 3200 * (i % 2))
+        assert len(history.sparkline("gmi0:r", width=3)) == 3
+
+    def test_report(self, history):
+        history.record("gmi0:r", 0.0, 1600)
+        report = history.report()
+        assert "gmi0:r" in report
+        assert "peak" in report
+
+    def test_integration_with_des_arbiter(self, p7302):
+        # Feed the history from a real DES run's transfers.
+        from repro.noc.arbiter import LinkArbiter
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        arbiter = LinkArbiter(env, p7302.link("gmi/ccd0"))
+        tracker = UtilizationHistory(bucket_ns=50.0)
+        tracker.register("gmi/ccd0:r", p7302.link("gmi/ccd0").read_gbps)
+
+        def worker():
+            for __ in range(50):
+                yield from arbiter.transfer(64, is_write=False)
+                tracker.record("gmi/ccd0:r", env.now, 64)
+
+        for __ in range(4):
+            env.process(worker())
+        env.run()
+        # Saturating workload: most buckets near full utilization.
+        assert tracker.mean_utilization("gmi/ccd0:r") > 0.8

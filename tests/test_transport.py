@@ -1,0 +1,148 @@
+"""Tests for the transaction layer: messages, paths, execution."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.platform.numa import Position
+from repro.sim.engine import Environment
+from repro.transport.message import OpKind, Transaction
+from repro.transport.path import PathResolver
+from repro.transport.transaction import TransactionExecutor
+from repro.units import CACHELINE
+
+
+class TestTransaction:
+    def test_defaults(self):
+        txn = Transaction(OpKind.READ)
+        assert txn.size_bytes == CACHELINE
+        assert not txn.op.is_write
+
+    def test_nt_write_is_write(self):
+        assert OpKind.NT_WRITE.is_write
+        assert OpKind.WRITE.is_write
+        assert not OpKind.READ.is_write
+
+    def test_ids_are_unique(self):
+        a = Transaction(OpKind.READ)
+        b = Transaction(OpKind.READ)
+        assert a.txn_id != b.txn_id
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            Transaction(OpKind.READ, size_bytes=0)
+
+    def test_latency_before_completion_raises(self):
+        with pytest.raises(ConfigurationError):
+            __ = Transaction(OpKind.READ).latency_ns
+
+    def test_latency(self):
+        txn = Transaction(OpKind.READ)
+        txn.issued_ns = 10.0
+        txn.completed_ns = 150.0
+        assert txn.latency_ns == pytest.approx(140.0)
+
+
+class TestPathCompilation:
+    def test_unloaded_dram_latency_preserved(self, platform):
+        # The compiled path's fixed latency plus unloaded stage service must
+        # equal the analytic path latency exactly.
+        env = Environment()
+        resolver = PathResolver(env, platform, with_dram_jitter=False)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near)
+        service = sum(
+            stage.unloaded_service_ns(CACHELINE, False) for stage in path.stages
+        )
+        assert path.fixed_ns + service == pytest.approx(path.unloaded_ns)
+        assert path.unloaded_ns == pytest.approx(
+            platform.dram_latency_ns(0, near)
+        )
+
+    def test_cxl_path_unloaded_latency(self, p9634):
+        env = Environment()
+        resolver = PathResolver(env, p9634, with_dram_jitter=False)
+        path = resolver.cxl_path(0)
+        assert path.unloaded_ns == pytest.approx(243.0, abs=1.0)
+
+    def test_cxl_path_on_7302_raises(self, p7302):
+        env = Environment()
+        resolver = PathResolver(env, p7302)
+        with pytest.raises(TopologyError):
+            resolver.cxl_path(0)
+
+    def test_paths_share_des_elements(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path_a = resolver.dram_path(0, near)
+        path_b = resolver.dram_path(1, near)
+        # Same CCX/CCD: the IF arbiter and token pool objects are shared.
+        assert path_a.stages[0].server is path_b.stages[0].server
+        assert path_a.tokens[0] is path_b.tokens[0]
+
+    def test_token_pools_optional(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near, use_token_pools=False)
+        assert path.tokens == []
+
+    def test_ccd_pool_presence_matches_platform(self, p7302, p9634):
+        env7, env9 = Environment(), Environment()
+        r7 = PathResolver(env7, p7302)
+        r9 = PathResolver(env9, p9634)
+        near7 = p7302.umcs_at(0, Position.NEAR)[0].umc_id
+        near9 = p9634.umcs_at(0, Position.NEAR)[0].umc_id
+        assert len(r7.dram_path(0, near7).tokens) == 2  # CCX + CCD
+        assert len(r9.dram_path(0, near9).tokens) == 1  # CCX only
+
+
+class TestExecution:
+    def test_unloaded_execution_matches_analytic(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform, with_dram_jitter=False)
+        executor = TransactionExecutor(env)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near)
+        txn = Transaction(OpKind.READ)
+        env.run(env.process(executor.execute(txn, path)))
+        assert txn.latency_ns == pytest.approx(path.unloaded_ns)
+
+    def test_tokens_released_after_completion(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform, with_dram_jitter=False)
+        executor = TransactionExecutor(env)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near)
+        env.run(env.process(executor.execute(Transaction(OpKind.READ), path)))
+        for pool in path.tokens:
+            assert pool.in_use == 0
+
+    def test_latency_samples_by_flow(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform, with_dram_jitter=False)
+        executor = TransactionExecutor(env)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near)
+        for flow_id in (1, 1, 2):
+            txn = Transaction(OpKind.READ, flow_id=flow_id)
+            env.process(executor.execute(txn, path))
+        env.run()
+        assert len(executor.latencies_ns()) == 3
+        assert len(executor.latencies_ns(flow_id=1)) == 2
+        executor.reset()
+        assert executor.latencies_ns() == []
+
+    def test_concurrent_transactions_queue(self, platform):
+        env = Environment()
+        resolver = PathResolver(env, platform, with_dram_jitter=False)
+        executor = TransactionExecutor(env)
+        near = platform.umcs_at(0, Position.NEAR)[0].umc_id
+        path = resolver.dram_path(0, near)
+        for __ in range(50):
+            env.process(executor.execute(Transaction(OpKind.READ), path))
+        env.run()
+        latencies = executor.latencies_ns()
+        # Later transactions queue behind earlier ones somewhere on the path.
+        assert max(latencies) > min(latencies)
+        assert min(latencies) == pytest.approx(path.unloaded_ns)
