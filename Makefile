@@ -1,0 +1,23 @@
+# Developer entry points.
+#
+# `make verify` is the pre-commit gate: the tier-1 test suite plus a fast
+# smoke pass over the engine benches (benchmark timing disabled — each
+# bench body runs once as a plain test). The `timeout` ceilings are
+# deliberately generous: they catch hangs and order-of-magnitude
+# regressions, not scheduler jitter.
+
+PYTHON ?= python
+PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test bench verify
+
+test:
+	$(PYTEST) -x -q
+
+bench:
+	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py -q
+
+verify:
+	timeout 600 $(PYTEST) -x -q
+	timeout 120 $(PYTEST) benchmarks/bench_engine.py -q --benchmark-disable
+	@echo "verify: OK"

@@ -15,8 +15,9 @@ Layers (bottom-up): :mod:`repro.sim` (DES kernel), :mod:`repro.platform`
 :mod:`repro.memory` / :mod:`repro.transport` (substrates),
 :mod:`repro.fluid` (flow-level contention), :mod:`repro.core` (the
 microbenchmark utility), :mod:`repro.manager` and :mod:`repro.telemetry`
-(the paper's §4 proposals), and :mod:`repro.experiments` (one module per
-table/figure).
+(the paper's §4 proposals), :mod:`repro.experiments` (one module per
+table/figure), and :mod:`repro.runner` (deterministic fan-out of
+independent experiment cells over worker processes).
 """
 
 from repro.core.flows import Scope, StreamSpec
@@ -32,6 +33,7 @@ from repro.errors import (
 from repro.platform.numa import NpsMode, Position
 from repro.platform.presets import epyc_7302, epyc_9634
 from repro.platform.topology import Platform, PlatformSpec
+from repro.runner import Cell, platform_map, resolve_jobs, run_cells, starmap
 from repro.transport.message import OpKind
 
 __version__ = "1.0.0"
@@ -47,6 +49,11 @@ __all__ = [
     "NpsMode",
     "epyc_7302",
     "epyc_9634",
+    "Cell",
+    "resolve_jobs",
+    "run_cells",
+    "starmap",
+    "platform_map",
     "ChipletError",
     "ConfigurationError",
     "ConvergenceError",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.platform.presets import epyc_7302, epyc_9634, synthetic_ucie
@@ -23,11 +24,33 @@ from repro.platform.topology import Platform
 
 __all__ = ["main", "build_parser"]
 
+_EPILOG = (
+    "Every subcommand accepts --jobs N (or 'auto', the default; also set "
+    "via REPRO_JOBS): independent experiment cells fan out over N worker "
+    "processes with byte-identical output for any value."
+)
+
 _PLATFORMS = {
     "7302": epyc_7302,
     "9634": epyc_9634,
     "synthetic": synthetic_ucie,
 }
+
+
+def _jobs_arg(text: str):
+    """argparse type for --jobs: a positive integer or 'auto'."""
+    value = text.strip().lower()
+    if value == "auto":
+        return value
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
 
 
 def _platforms_for(name: str) -> List[Platform]:
@@ -50,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Server Chiplet Networking (HotNets '25) reproduction — "
             "regenerate the paper's tables and figures from the simulator."
         ),
+        epilog=_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -62,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--seed", type=int, default=0, help="simulation seed (default 0)"
+        )
+        cmd.add_argument(
+            "--jobs",
+            default=None,
+            type=_jobs_arg,
+            metavar="N",
+            help=(
+                "worker processes for independent cells: a count or 'auto' "
+                "(default: $REPRO_JOBS, else auto); output is byte-identical "
+                "for any value"
+            ),
         )
         return cmd
 
@@ -90,7 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
         "accel", "accelerator dispatch protection (§4 #4)",
         platform_default="9634",
     )
-    accel_cmd.add_argument("--jobs", type=int, default=8)
+    accel_cmd.add_argument(
+        "--dispatch-jobs", type=int, default=8,
+        help="dispatch jobs simulated per scenario (default 8)",
+    )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
     add("collective", "all-reduce algorithm costs across chiplets (§4 #6)")
@@ -106,8 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point: run one subcommand and print its artifact."""
+    """Entry point: run one subcommand and print its artifact.
+
+    Artifacts go to stdout; a one-line timing summary goes to stderr (so
+    redirected artifacts stay byte-identical regardless of ``--jobs``).
+    """
     args = build_parser().parse_args(argv)
+    jobs = getattr(args, "jobs", None)
+    started = time.perf_counter()
     out: List[str] = []
 
     if args.command == "table1":
@@ -118,38 +162,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table2":
         from repro.experiments import table2
 
-        rows = {
-            platform.name: table2.run(
-                platform, iterations=args.iterations, seed=args.seed
-            )
-            for platform in _platforms_for(args.platform)
-        }
+        rows = table2.run_many(
+            _platforms_for(args.platform),
+            iterations=args.iterations, seed=args.seed, jobs=jobs,
+        )
         out.append(table2.render(rows))
 
     elif args.command == "table3":
         from repro.experiments import table3
 
-        results = {
-            platform.name: table3.run(platform, seed=args.seed)
-            for platform in _platforms_for(args.platform)
-        }
+        results = table3.run_many(
+            _platforms_for(args.platform), seed=args.seed, jobs=jobs
+        )
         out.append(table3.render(results))
 
     elif args.command == "fig3":
         from repro.experiments import fig3
-        from repro.transport.message import OpKind
 
-        sweeps = []
-        for platform in _platforms_for(args.platform):
-            for config in fig3.panel_configs(platform):
-                for op in (OpKind.READ, OpKind.NT_WRITE):
-                    sweeps.append(
-                        fig3.run_panel(
-                            platform, config, op,
-                            transactions_per_core=args.transactions,
-                            seed=args.seed,
-                        )
-                    )
+        sweeps = fig3.run_all(
+            _platforms_for(args.platform),
+            transactions_per_core=args.transactions,
+            seed=args.seed,
+            jobs=jobs,
+        )
         out.append(fig3.render(sweeps))
         if args.csv:
             written = fig3.export_csv(sweeps, args.csv)
@@ -158,49 +193,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig4":
         from repro.experiments import fig4
 
-        results = [fig4.run(p) for p in _platforms_for(args.platform)]
+        results = fig4.run_many(_platforms_for(args.platform), jobs=jobs)
         out.append(fig4.render(results))
 
     elif args.command == "fig5":
         from repro.experiments import fig5
 
-        for platform in _platforms_for(args.platform):
-            links = ["if"] + (["plink"] if platform.cxl_devices else [])
-            for link in links:
-                result = fig5.run(platform, link)
-                delay = (
-                    "n/a (oscillates)"
-                    if result.harvest_delay_s is None
-                    else f"{result.harvest_delay_s * 1e3:.0f} ms"
-                )
-                out.append(
-                    f"{platform.name} {result.scenario.name}: harvest delay "
-                    f"{delay}, in-window variation "
-                    f"{result.variation_gbps:.2f} GB/s"
-                )
+        for result in fig5.run_all(_platforms_for(args.platform), jobs=jobs):
+            delay = (
+                "n/a (oscillates)"
+                if result.harvest_delay_s is None
+                else f"{result.harvest_delay_s * 1e3:.0f} ms"
+            )
+            out.append(
+                f"{result.scenario.platform} {result.scenario.name}: "
+                f"harvest delay {delay}, in-window variation "
+                f"{result.variation_gbps:.2f} GB/s"
+            )
 
     elif args.command == "fig6":
         from repro.experiments import fig6
 
-        for platform in _platforms_for(args.platform):
-            if not platform.cxl_devices:
-                continue
-            out.append(fig6.render(fig6.run(platform)))
+        for result in fig6.run_many(_platforms_for(args.platform), jobs=jobs):
+            out.append(fig6.render(result))
 
     elif args.command == "suite":
         from repro.core.suite import CharacterizationSuite
 
-        suite = CharacterizationSuite(seed=args.seed)
-        for platform in _platforms_for(args.platform):
-            out.append(suite.run(platform).render())
+        suite = CharacterizationSuite(seed=args.seed, jobs=jobs)
+        reports = suite.run_many(_platforms_for(args.platform))
+        for report in reports.values():
+            out.append(report.render())
 
     elif args.command == "os-scaling":
         from repro.experiments import os_scaling
+        from repro.runner import platform_map
 
-        results = {
-            platform.name: os_scaling.run(platform)
-            for platform in _platforms_for(args.platform)
-        }
+        results = platform_map(
+            os_scaling.run, _platforms_for(args.platform), jobs=jobs
+        )
         out.append(os_scaling.render(results))
 
     elif args.command == "accel":
@@ -210,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if not platform.cxl_devices:
                 continue
             reports = accel_dispatch.compare(
-                platform, jobs=args.jobs, seed=args.seed
+                platform, jobs=args.dispatch_jobs, seed=args.seed
             )
             out.append(accel_dispatch.render(reports))
 
@@ -263,15 +294,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "all":
         from repro.experiments.summary import reproduce_all
 
-        out.append(reproduce_all(quality=args.quality, seed=args.seed))
+        out.append(reproduce_all(quality=args.quality, seed=args.seed, jobs=jobs))
 
     elif args.command == "patterns":
         from repro.experiments import patterns
+        from repro.runner import platform_map
 
-        results = {
-            platform.name: patterns.run(platform, seed=args.seed)
-            for platform in _platforms_for(args.platform)
-        }
+        results = platform_map(
+            patterns.run, _platforms_for(args.platform), jobs=jobs,
+            seed=args.seed,
+        )
         out.append(patterns.render(results))
 
     elif args.command == "core-to-core":
@@ -288,11 +320,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"(one core per CCX):\n" + matrix.heatmap()
             )
 
+    elapsed = time.perf_counter() - started
     try:
         print("\n\n".join(out))
     except BrokenPipeError:
         # Downstream pager/head closed early — not an error.
         return 0
+    from repro.runner import resolve_jobs
+
+    print(
+        f"[repro] {args.command}: {elapsed:.2f}s (jobs={resolve_jobs(jobs)})",
+        file=sys.stderr,
+    )
     return 0
 
 

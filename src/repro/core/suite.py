@@ -69,30 +69,75 @@ class CharacterizationReport:
         )
 
 
-class CharacterizationSuite:
-    """Runs the full §3 methodology on any platform."""
+def _handoff_matrix(platform: Platform):
+    """The sampled core-to-core matrix (one core per CCX) — a runner cell."""
+    sample = sorted(
+        {platform.cores_of_ccx(ccx_id)[0].core_id for ccx_id in platform.ccxs}
+    )
+    return measure_matrix(platform, core_ids=sample)
 
-    def __init__(self, iterations: int = 1200, seed: int = 0) -> None:
+
+class CharacterizationSuite:
+    """Runs the full §3 methodology on any platform.
+
+    ``jobs`` fans the suite's independent measurement cells (the latency
+    ladder, the bandwidth ladder, the partitioning cases, and the handoff
+    matrix — per platform) out over worker processes; every cell builds its
+    own simulation environment, so reports are bit-identical for any value.
+    """
+
+    def __init__(self, iterations: int = 1200, seed: int = 0, jobs=None) -> None:
         self.iterations = iterations
         self.seed = seed
+        self.jobs = jobs
 
     def run(self, platform: Platform) -> CharacterizationReport:
         """Characterize one platform and derive guidelines."""
-        latency = table2.run(platform, iterations=self.iterations, seed=self.seed)
-        bandwidth = table3.run(platform, seed=self.seed)
-        partitioning = fig4.run(platform)
-        guidelines = tuple(self.derive_guidelines(platform, latency, bandwidth))
-        return CharacterizationReport(
-            platform.name, latency, bandwidth, partitioning, guidelines
-        )
+        return self.run_many([platform])[platform.name]
+
+    def run_many(
+        self, platforms: List[Platform]
+    ) -> Dict[str, CharacterizationReport]:
+        """Characterize several platforms with one flat cell fan-out."""
+        from repro.runner import Cell, run_cells
+
+        cells: List[Cell] = []
+        for platform in platforms:
+            cells += [
+                Cell(
+                    table2.run, (platform,),
+                    {"iterations": self.iterations, "seed": self.seed},
+                ),
+                Cell(table3.run, (platform,), {"seed": self.seed}),
+                Cell(fig4.run, (platform,)),
+                Cell(_handoff_matrix, (platform,)),
+            ]
+        results = run_cells(cells, jobs=self.jobs)
+        reports: Dict[str, CharacterizationReport] = {}
+        for index, platform in enumerate(platforms):
+            latency, bandwidth, partitioning, matrix = results[
+                4 * index: 4 * index + 4
+            ]
+            guidelines = tuple(
+                self.derive_guidelines(platform, latency, bandwidth, matrix=matrix)
+            )
+            reports[platform.name] = CharacterizationReport(
+                platform.name, latency, bandwidth, partitioning, guidelines
+            )
+        return reports
 
     def derive_guidelines(
         self,
         platform: Platform,
         latency: table2.Table2Row,
         bandwidth: table3.Table3Result,
+        matrix=None,
     ) -> List[str]:
-        """Numeric, actionable guidance from the measurements."""
+        """Numeric, actionable guidance from the measurements.
+
+        ``matrix`` is the sampled core-to-core handoff matrix; when omitted
+        it is measured here (the serial, single-platform convenience path).
+        """
         guidelines: List[str] = []
 
         worst = max(latency.vertical, latency.horizontal, latency.diagonal)
@@ -153,11 +198,8 @@ class CharacterizationSuite:
 
         # Thread-placement tiers from the core-to-core handoff matrix
         # (sampled: one core per CCX is enough for the tier means).
-        sample = sorted(
-            {platform.cores_of_ccx(ccx_id)[0].core_id
-             for ccx_id in platform.ccxs}
-        )
-        matrix = measure_matrix(platform, core_ids=sample)
+        if matrix is None:
+            matrix = _handoff_matrix(platform)
         tiers = {t.name: t for t in matrix.classes(platform)}
         if "cross-ccd" in tiers:
             cross = tiers["cross-ccd"].latency_ns
@@ -173,4 +215,4 @@ class CharacterizationSuite:
         self, platforms: List[Platform]
     ) -> Dict[str, CharacterizationReport]:
         """Characterize several platforms (the cross-platform use case)."""
-        return {p.name: self.run(p) for p in platforms}
+        return self.run_many(platforms)

@@ -36,7 +36,10 @@ from repro.platform.numa import Position
 from repro.platform.topology import Platform
 from repro.transport.message import OpKind
 
-__all__ = ["PanelConfig", "PanelSweep", "run_panel", "panel_configs", "render"]
+__all__ = [
+    "PanelConfig", "PanelSweep", "run_panel", "run_all", "panel_configs",
+    "render",
+]
 
 #: Offered-load fractions of the panel's saturation bandwidth; the final
 #: point is unthrottled (None rate → window-limited saturation).
@@ -197,6 +200,39 @@ def run_panel(
         for rate in offered
     ]
     return PanelSweep(config, op, tuple(offered), tuple(results))
+
+
+def run_all(
+    platforms: Sequence[Platform],
+    transactions_per_core: int = 600,
+    fractions: Sequence[float] = LOAD_FRACTIONS,
+    seed: int = 0,
+    jobs=None,
+) -> List[PanelSweep]:
+    """Every (platform, panel, op) sweep, fanned out over worker processes.
+
+    Each sweep is one independent runner cell (its own Environment and seed
+    streams), so the result list is bit-identical for any ``jobs`` value and
+    ordered canonically: platforms in the given order, panels in
+    ``panel_configs`` order, READ before NT_WRITE.
+    """
+    from repro.runner import Cell, run_cells
+
+    cells = [
+        Cell(
+            run_panel,
+            (platform, config, op),
+            dict(
+                transactions_per_core=transactions_per_core,
+                fractions=tuple(fractions),
+                seed=seed,
+            ),
+        )
+        for platform in platforms
+        for config in panel_configs(platform)
+        for op in (OpKind.READ, OpKind.NT_WRITE)
+    ]
+    return run_cells(cells, jobs=jobs)
 
 
 def export_csv(sweeps: Sequence[PanelSweep], out_dir) -> List[str]:

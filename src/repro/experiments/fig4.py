@@ -24,7 +24,9 @@ from repro.errors import ConfigurationError
 from repro.fluid.solver import Policy
 from repro.platform.topology import Platform
 
-__all__ = ["Fig4Result", "link_capacity_gbps", "run", "render", "CASES"]
+__all__ = [
+    "Fig4Result", "link_capacity_gbps", "run", "run_many", "render", "CASES",
+]
 
 #: (flow 0, flow 1) requested bandwidth as fractions of the link capacity.
 CASES: Dict[str, Tuple[float, float]] = {
@@ -81,6 +83,13 @@ def run(
                 capacity_gbps=capacity,
             )
     return Fig4Result(platform.name, outcomes)
+
+
+def run_many(platforms, jobs=None) -> List[Fig4Result]:
+    """Run the partitioning cases per platform, fanned out over processes."""
+    from repro.runner import starmap
+
+    return starmap(run, [(platform,) for platform in platforms], jobs=jobs)
 
 
 def render(results: List[Fig4Result]) -> str:

@@ -27,7 +27,10 @@ from repro.fluid.solver import Channel, FluidFlow
 from repro.fluid.timeseries import DemandSchedule, FluidSimulator, FlowTrace
 from repro.platform.topology import Platform
 
-__all__ = ["Fig5Scenario", "Fig5Result", "scenario_for", "run", "measure_harvest"]
+__all__ = [
+    "Fig5Scenario", "Fig5Result", "scenario_for", "run", "run_all",
+    "measure_harvest",
+]
 
 #: Throttle windows and depth from the paper's setup.
 THROTTLE_WINDOWS = ((2.0, 3.0), (4.0, 5.0))
@@ -146,6 +149,22 @@ def run(
     ])
     variation = float(inside.std()) if inside.size > 1 else 0.0
     return Fig5Result(scenario, traces, harvest, variation)
+
+
+def run_all(platforms, jobs=None) -> "list[Fig5Result]":
+    """Every (platform, link) harvesting timeline, fanned out over processes.
+
+    Canonical order: platforms as given, the IF panel before the P Link
+    panel (the latter only on CXL-equipped platforms).
+    """
+    from repro.runner import starmap
+
+    pairs = [
+        (platform, link)
+        for platform in platforms
+        for link in (["if"] + (["plink"] if platform.cxl_devices else []))
+    ]
+    return starmap(run, pairs, jobs=jobs)
 
 
 def render(results) -> str:

@@ -38,6 +38,7 @@ __all__ = [
     "Fig6Result",
     "scenarios_for",
     "run",
+    "run_many",
     "render",
     "PAPER_KNEES",
 ]
@@ -212,6 +213,14 @@ def run(platform: Platform, points: int = 40) -> Fig6Result:
                     )
                 )
     return Fig6Result(platform.name, curves)
+
+
+def run_many(platforms, points: int = 40, jobs=None) -> List[Fig6Result]:
+    """Run Figure 6 on every CXL-equipped platform, fanned out."""
+    from repro.runner import starmap
+
+    eligible = [p for p in platforms if p.cxl_devices]
+    return starmap(run, [(p,) for p in eligible], jobs=jobs, points=points)
 
 
 def render(result: Fig6Result) -> str:

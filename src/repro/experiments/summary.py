@@ -23,8 +23,13 @@ QUALITY_PRESETS: Dict[str, tuple] = {
 }
 
 
-def reproduce_all(quality: str = "quick", seed: int = 0) -> str:
-    """Regenerate every table and figure; returns the combined report."""
+def reproduce_all(quality: str = "quick", seed: int = 0, jobs=None) -> str:
+    """Regenerate every table and figure; returns the combined report.
+
+    ``jobs`` fans each artifact's independent cells out over worker
+    processes (see :mod:`repro.runner`); the report is byte-identical for
+    any value.
+    """
     try:
         iterations, transactions, fractions = QUALITY_PRESETS[quality]
     except KeyError:
@@ -42,38 +47,31 @@ def reproduce_all(quality: str = "quick", seed: int = 0) -> str:
         table2,
         table3,
     )
+    from repro.runner import starmap
 
     p7302, p9634 = epyc_7302(), epyc_9634()
     sections: List[str] = []
 
     sections.append(table1.render(table1.run()))
-    sections.append(table2.render({
-        platform.name: table2.run(platform, iterations=iterations, seed=seed)
-        for platform in (p7302, p9634)
-    }))
-    sections.append(table3.render({
-        platform.name: table3.run(platform, seed=seed)
-        for platform in (p7302, p9634)
-    }))
+    sections.append(table2.render(table2.run_many(
+        (p7302, p9634), iterations=iterations, seed=seed, jobs=jobs
+    )))
+    sections.append(table3.render(table3.run_many(
+        (p7302, p9634), seed=seed, jobs=jobs
+    )))
 
-    sweeps = []
-    for platform in (p7302, p9634):
-        for config in fig3.panel_configs(platform):
-            for op in (OpKind.READ, OpKind.NT_WRITE):
-                sweeps.append(fig3.run_panel(
-                    platform, config, op,
-                    transactions_per_core=transactions,
-                    fractions=fractions,
-                    seed=seed,
-                ))
-    sections.append(fig3.render(sweeps))
+    sections.append(fig3.render(fig3.run_all(
+        (p7302, p9634),
+        transactions_per_core=transactions,
+        fractions=fractions,
+        seed=seed,
+        jobs=jobs,
+    )))
 
-    sections.append(fig4.render([fig4.run(p) for p in (p7302, p9634)]))
-    sections.append(fig5.render([
-        fig5.run(p9634, "if"),
-        fig5.run(p9634, "plink"),
-        fig5.run(p7302, "if"),
-    ]))
+    sections.append(fig4.render(fig4.run_many((p7302, p9634), jobs=jobs)))
+    sections.append(fig5.render(starmap(
+        fig5.run, [(p9634, "if"), (p9634, "plink"), (p7302, "if")], jobs=jobs,
+    )))
     sections.append(fig6.render(fig6.run(p9634)))
 
     managed = ablations.manager_vs_sender_driven(p9634)

@@ -18,7 +18,7 @@ from repro.core.microbench import MicroBench
 from repro.platform.numa import Position
 from repro.platform.topology import Platform
 
-__all__ = ["Table2Row", "run", "render", "PAPER_TABLE2"]
+__all__ = ["Table2Row", "run", "run_many", "render", "PAPER_TABLE2"]
 
 #: The paper's Table 2 (ns) for comparison. None = N/A on that platform.
 PAPER_TABLE2: Dict[str, Dict[str, Optional[float]]] = {
@@ -125,6 +125,15 @@ def run(platform: Platform, iterations: int = 2000, seed: int = 0) -> Table2Row:
         diagonal=results["diagonal"],
         cxl=results["cxl"],
     )
+
+
+def run_many(
+    platforms, iterations: int = 2000, seed: int = 0, jobs=None
+) -> Dict[str, Table2Row]:
+    """Measure one Table 2 column per platform, fanned out over processes."""
+    from repro.runner import platform_map
+
+    return platform_map(run, platforms, jobs=jobs, iterations=iterations, seed=seed)
 
 
 def render(rows: Dict[str, Table2Row]) -> str:

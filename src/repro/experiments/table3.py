@@ -18,7 +18,7 @@ from repro.core.microbench import MicroBench
 from repro.platform.topology import Platform
 from repro.transport.message import OpKind
 
-__all__ = ["Table3Result", "run", "render", "PAPER_TABLE3"]
+__all__ = ["Table3Result", "run", "run_many", "render", "PAPER_TABLE3"]
 
 #: The paper's Table 3: {platform: {(scope, target): (read, write) GB/s}}.
 PAPER_TABLE3: Dict[str, Dict[Tuple[str, str], Tuple[float, float]]] = {
@@ -68,6 +68,13 @@ def run(platform: Platform, seed: int = 0) -> Table3Result:
             write = bench.stream_bandwidth(scope, OpKind.NT_WRITE, target=target)
             cells[(scope.value, target)] = (read, write)
     return Table3Result(platform.name, cells)
+
+
+def run_many(platforms, seed: int = 0, jobs=None) -> Dict[str, Table3Result]:
+    """Measure Table 3 per platform, fanned out over worker processes."""
+    from repro.runner import platform_map
+
+    return platform_map(run, platforms, jobs=jobs, seed=seed)
 
 
 def umc_channel_bandwidth(platform: Platform, seed: int = 0) -> Tuple[float, float]:

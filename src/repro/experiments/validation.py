@@ -38,32 +38,59 @@ class AgreementPoint:
         return self.des_gbps / self.fluid_gbps
 
 
+#: The overlap scenarios both engines must agree on.
+_AGREEMENT_SCENARIOS: List[Tuple[str, Scope, OpKind]] = [
+    ("core-read", Scope.CORE, OpKind.READ),
+    ("core-nt-write", Scope.CORE, OpKind.NT_WRITE),
+    ("ccx-read", Scope.CCX, OpKind.READ),
+    ("ccd-read", Scope.CCD, OpKind.READ),
+    ("ccd-nt-write", Scope.CCD, OpKind.NT_WRITE),
+]
+
+
+def _agreement_cell(
+    platform: Platform,
+    name: str,
+    scope: Scope,
+    op: OpKind,
+    transactions_per_core: int,
+    seed: int,
+) -> AgreementPoint:
+    """One overlap scenario measured by both engines (a runner cell)."""
+    from repro.core.flows import StreamSpec
+
+    bench = MicroBench(platform, seed=seed)
+    fluid = bench.stream_bandwidth(scope, op)
+    cores = list(StreamSpec.cores_for_scope(platform, scope))
+    des = bench.loaded_latency(
+        cores, op, offered_gbps=None,
+        transactions_per_core=transactions_per_core,
+    )
+    return AgreementPoint(name, des.achieved_gbps, fluid)
+
+
 def des_vs_fluid(
     platform: Platform,
     transactions_per_core: int = 1500,
     seed: int = 0,
+    jobs=None,
 ) -> List[AgreementPoint]:
-    """Saturating-stream throughput from both engines, several scopes."""
-    bench = MicroBench(platform, seed=seed)
-    points: List[AgreementPoint] = []
-    scenarios: List[Tuple[str, Scope, OpKind]] = [
-        ("core-read", Scope.CORE, OpKind.READ),
-        ("core-nt-write", Scope.CORE, OpKind.NT_WRITE),
-        ("ccx-read", Scope.CCX, OpKind.READ),
-        ("ccd-read", Scope.CCD, OpKind.READ),
-        ("ccd-nt-write", Scope.CCD, OpKind.NT_WRITE),
-    ]
-    from repro.core.flows import StreamSpec
+    """Saturating-stream throughput from both engines, several scopes.
 
-    for name, scope, op in scenarios:
-        fluid = bench.stream_bandwidth(scope, op)
-        cores = list(StreamSpec.cores_for_scope(platform, scope))
-        des = bench.loaded_latency(
-            cores, op, offered_gbps=None,
-            transactions_per_core=transactions_per_core,
-        )
-        points.append(AgreementPoint(name, des.achieved_gbps, fluid))
-    return points
+    Each scenario builds its own MicroBench (own Environment, own seed
+    streams), so the scenarios fan out over worker processes and return in
+    canonical order regardless of ``jobs``.
+    """
+    from repro.runner import starmap
+
+    return starmap(
+        _agreement_cell,
+        [
+            (platform, name, scope, op, transactions_per_core, seed)
+            for name, scope, op in _AGREEMENT_SCENARIOS
+        ],
+        jobs=jobs,
+    )
 
 
 @dataclass(frozen=True)

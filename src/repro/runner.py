@@ -1,0 +1,147 @@
+"""Deterministic fan-out of independent experiment cells.
+
+Every paper artifact decomposes into *cells* — independent
+(platform × panel × op × load-point) work items that each build their own
+:class:`~repro.sim.engine.Environment` and draw from their own
+:class:`~repro.sim.rng.SplitRng` streams. Nothing is shared between cells,
+so they can run in separate worker processes and still produce bit-identical
+results; this module is the fan-out layer that does exactly that.
+
+Determinism contract
+--------------------
+
+:func:`run_cells` returns results **in submission order**, regardless of
+which worker finished first, and each cell's result depends only on its own
+arguments (the seed tree, not wall-clock or scheduling). Consequently::
+
+    run_cells(cells, jobs=1) == run_cells(cells, jobs=4)
+
+holds bit-for-bit — ``--jobs`` trades wall-clock for CPU without touching a
+single rendered byte. ``tests/test_runner.py`` asserts this for the Figure 3
+and Table 2 pipelines.
+
+Job-count resolution
+--------------------
+
+``jobs`` may be an ``int``, the string ``"auto"`` (one worker per CPU), or
+``None`` (read the ``REPRO_JOBS`` environment variable, falling back to
+``auto``). ``jobs=1`` bypasses multiprocessing entirely and runs in-process;
+so do cell lists whose functions or arguments cannot be pickled (e.g. ad-hoc
+platforms built from closures), which keeps the API safe to call from
+anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Cell", "resolve_jobs", "run_cells", "starmap", "platform_map"]
+
+#: Environment variable consulted when ``jobs`` is None.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+JobsSpec = Union[int, str, None]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable (picklable) for the cell to be
+    eligible for process fan-out; anything else silently degrades to the
+    in-process path.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        """Execute the cell in the current process."""
+        return self.fn(*self.args, **self.kwargs)
+
+
+def resolve_jobs(jobs: JobsSpec = None) -> int:
+    """Resolve a ``--jobs`` value to a concrete worker count (>= 1)."""
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV_VAR, "auto")
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}"
+            ) from None
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return int(jobs)
+
+
+def _picklable(cells: Sequence[Cell]) -> bool:
+    try:
+        pickle.dumps([(cell.fn, cell.args, cell.kwargs) for cell in cells])
+        return True
+    except Exception:
+        return False
+
+
+def run_cells(cells: Iterable[Cell], jobs: JobsSpec = None) -> List[Any]:
+    """Run every cell; results come back in submission order.
+
+    With ``jobs > 1`` the cells execute in worker processes
+    (``ProcessPoolExecutor``); exceptions raised inside a cell propagate to
+    the caller either way.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    workers = min(resolve_jobs(jobs), len(cells))
+    if workers <= 1 or not _picklable(cells):
+        return [cell.run() for cell in cells]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(cell.fn, *cell.args, **cell.kwargs) for cell in cells
+            ]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError):
+        # Sandboxed or fork-restricted environments: degrade gracefully.
+        return [cell.run() for cell in cells]
+
+
+def starmap(
+    fn: Callable[..., Any],
+    argument_tuples: Iterable[Tuple[Any, ...]],
+    jobs: JobsSpec = None,
+    **kwargs: Any,
+) -> List[Any]:
+    """``[fn(*args, **kwargs) for args in argument_tuples]``, fanned out."""
+    return run_cells(
+        [Cell(fn, tuple(args), dict(kwargs)) for args in argument_tuples],
+        jobs=jobs,
+    )
+
+
+def platform_map(
+    fn: Callable[..., Any],
+    platforms: Sequence[Any],
+    jobs: JobsSpec = None,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Run ``fn(platform, **kwargs)`` per platform; {platform.name: result}.
+
+    The canonical shape of most CLI subcommands (`table2`, `table3`,
+    `os-scaling`, `patterns`, ...): one independent measurement per platform,
+    merged into a name-keyed dict in platform order.
+    """
+    results = starmap(fn, [(platform,) for platform in platforms], jobs=jobs, **kwargs)
+    return {platform.name: result for platform, result in zip(platforms, results)}

@@ -94,6 +94,13 @@ class PathResolver:
     token pools, per-CCD IF/GMI arbiters, the NoC aggregate arbiter, per-UMC
     servers, and the P-Link/CXL chain. Paths compiled for different cores
     share these elements, which is what makes contention emerge.
+
+    Compiled paths are memoized: a sweep that re-resolves the same
+    (core, target, op, size) combination gets the cached
+    :class:`CompiledPath` back instead of recompiling it. This is safe
+    because a compiled path is immutable in practice — executors only read
+    its fields — and its stages/tokens are the resolver's shared elements
+    either way.
     """
 
     def __init__(
@@ -120,6 +127,8 @@ class PathResolver:
         self._pcie_arbiters: Dict[int, LinkArbiter] = {}
         self._noc_arbiter: Optional[LinkArbiter] = None
         self._xgmi_arbiter: Optional[LinkArbiter] = None
+        #: Memoized compiled paths, keyed by the full compile signature.
+        self._path_cache: Dict[tuple, CompiledPath] = {}
 
     # ------------------------------------------------------------ DES elements
 
@@ -257,6 +266,10 @@ class PathResolver:
         ``remote=True`` targets the other socket's memory: the request
         additionally crosses the xGMI link (2-socket platforms only).
         """
+        key = ("dram", core_id, umc_id, op, size_bytes, use_token_pools, remote)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         core = self.platform.core(core_id)
         if remote:
             unloaded = self.platform.remote_dram_latency_ns(
@@ -278,9 +291,11 @@ class PathResolver:
             ccd = self.ccd_pool(core.ccd_id)
             if ccd is not None:
                 tokens.append(ccd)
-        return self._finalize(
+        path = self._finalize(
             f"core{core_id}->dimm{umc_id}", unloaded, stages, tokens, op, size_bytes
         )
+        self._path_cache[key] = path
+        return path
 
     def pcie_arbiter(self, dev_id: int) -> LinkArbiter:
         """The (cached) PCIe endpoint arbiter."""
@@ -297,6 +312,10 @@ class PathResolver:
         use_token_pools: bool = True,
     ) -> CompiledPath:
         """Compile a non-posted MMIO read to a PCIe endpoint."""
+        key = ("mmio", core_id, dev_id, size_bytes, use_token_pools)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         core = self.platform.core(core_id)
         unloaded = self.platform.mmio_read_latency_ns(core.ccd_id, dev_id)
         dev = self.platform.pcie_devices[dev_id]
@@ -310,10 +329,12 @@ class PathResolver:
         tokens: List[TokenPool] = []
         if use_token_pools:
             tokens.append(self.ccx_pool(core.ccx_id))
-        return self._finalize(
+        path = self._finalize(
             f"core{core_id}->mmio{dev_id}", unloaded, stages, tokens,
             OpKind.READ, size_bytes,
         )
+        self._path_cache[key] = path
+        return path
 
     def doorbell_path(
         self,
@@ -322,6 +343,10 @@ class PathResolver:
         size_bytes: int = 8,
     ) -> CompiledPath:
         """Compile a posted doorbell write (retires at the root complex)."""
+        key = ("doorbell", core_id, dev_id, size_bytes)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         core = self.platform.core(core_id)
         unloaded = self.platform.doorbell_latency_ns(core.ccd_id, dev_id)
         stages = [
@@ -329,10 +354,12 @@ class PathResolver:
             QueuedStage("noc", self.noc_arbiter()),
             QueuedStage(f"hubport/ccd{core.ccd_id}", self.hub_arbiter(core.ccd_id)),
         ]
-        return self._finalize(
+        path = self._finalize(
             f"core{core_id}->doorbell{dev_id}", unloaded, stages, [],
             OpKind.NT_WRITE, size_bytes,
         )
+        self._path_cache[key] = path
+        return path
 
     def dma_path(
         self,
@@ -342,6 +369,10 @@ class PathResolver:
         size_bytes: int = CACHELINE,
     ) -> CompiledPath:
         """Compile a device-initiated DMA access to DRAM."""
+        key = ("dma", dev_id, umc_id, op, size_bytes)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         dev = self.platform.pcie_devices[dev_id]
         hub = self.platform.io_hubs[0]
         umc = self.platform.umcs[umc_id]
@@ -353,9 +384,11 @@ class PathResolver:
             QueuedStage("noc", self.noc_arbiter()),
             QueuedStage(f"umc{umc_id}", self.umc_server(umc_id)),
         ]
-        return self._finalize(
+        path = self._finalize(
             f"pcie{dev_id}->dimm{umc_id}", unloaded, stages, [], op, size_bytes
         )
+        self._path_cache[key] = path
+        return path
 
     def cxl_path(
         self,
@@ -366,6 +399,10 @@ class PathResolver:
         use_token_pools: bool = True,
     ) -> CompiledPath:
         """Compile the core→CXL path through IF, mesh, hub, P Link, device."""
+        key = ("cxl", core_id, dev_id, op, size_bytes, use_token_pools)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         core = self.platform.core(core_id)
         unloaded = self.platform.cxl_latency_ns(core.ccd_id, dev_id)
         dev = self.platform.cxl_devices[dev_id]
@@ -382,6 +419,8 @@ class PathResolver:
             ccd = self.ccd_pool(core.ccd_id)
             if ccd is not None:
                 tokens.append(ccd)
-        return self._finalize(
+        path = self._finalize(
             f"core{core_id}->cxl{dev_id}", unloaded, stages, tokens, op, size_bytes
         )
+        self._path_cache[key] = path
+        return path

@@ -1,0 +1,212 @@
+"""The runner's determinism contract, plus DES engine edge cases.
+
+The load-bearing guarantee: ``run_cells(cells, jobs=1)`` and
+``run_cells(cells, jobs=4)`` produce identical results — every cell builds
+its own Environment and seed streams, and results merge in submission
+order. The Figure 3 / Table 2 tests below assert it on the real pipelines.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments import fig3, table2
+from repro.platform.presets import epyc_7302
+from repro.runner import Cell, resolve_jobs, run_cells, starmap
+from repro.sim.engine import Environment, Resource, Store
+from repro.transport.message import OpKind
+
+
+# --------------------------------------------------------------------------
+# jobs=1 == jobs=4 on real experiment pipelines
+
+
+def _panel_d_cells(platform):
+    config = next(c for c in fig3.panel_configs(platform) if c.panel == "d")
+    return [
+        Cell(
+            fig3.run_panel,
+            (platform, config, op),
+            dict(transactions_per_core=120, fractions=(0.3, 0.8), seed=0),
+        )
+        for op in (OpKind.READ, OpKind.NT_WRITE)
+    ]
+
+
+def test_fig3_panel_d_jobs_invariant():
+    platform = epyc_7302()
+    serial = run_cells(_panel_d_cells(platform), jobs=1)
+    pooled = run_cells(_panel_d_cells(platform), jobs=4)
+    assert fig3.render(serial) == fig3.render(pooled)
+    for a, b in zip(serial, pooled):
+        assert a.op is b.op
+        assert a.offered_gbps == b.offered_gbps
+        assert [r.stats.mean for r in a.results] == [
+            r.stats.mean for r in b.results
+        ]
+        assert [r.stats.p999 for r in a.results] == [
+            r.stats.p999 for r in b.results
+        ]
+
+
+def test_table2_jobs_invariant():
+    platform = epyc_7302()
+    serial = table2.run_many([platform], iterations=300, seed=0, jobs=1)
+    pooled = table2.run_many([platform], iterations=300, seed=0, jobs=4)
+    assert table2.render(serial) == table2.render(pooled)
+
+
+# --------------------------------------------------------------------------
+# jobs resolution and fan-out mechanics
+
+
+def test_resolve_jobs_values(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs("2") == 2
+    assert resolve_jobs("auto") >= 1
+    assert resolve_jobs(None) >= 1
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+    # An explicit value beats the environment variable.
+    assert resolve_jobs(2) == 2
+
+
+def test_resolve_jobs_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(0)
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(-2)
+    with pytest.raises(ConfigurationError):
+        resolve_jobs("many")
+
+
+def test_run_cells_unpicklable_degrades_to_serial():
+    # Lambdas can't cross a process boundary; run_cells must still work.
+    cells = [Cell(lambda i=i: i * i) for i in range(4)]
+    assert run_cells(cells, jobs=4) == [0, 1, 4, 9]
+
+
+def test_run_cells_empty():
+    assert run_cells([], jobs=4) == []
+
+
+def test_starmap_preserves_order():
+    def offset(x, delta=0):
+        return x + delta
+
+    assert starmap(offset, [(1,), (2,), (3,)], jobs=1, delta=10) == [
+        11, 12, 13,
+    ]
+
+
+# --------------------------------------------------------------------------
+# DES engine edge cases
+
+
+def test_any_of_failed_child_raises_in_waiter():
+    env = Environment()
+    bad = env.event()
+    seen = []
+
+    def waiter():
+        try:
+            yield env.any_of([env.timeout(10.0), bad])
+        except RuntimeError as exc:
+            seen.append((env.now, str(exc)))
+
+    def trigger():
+        yield env.timeout(1.0)
+        bad.fail(RuntimeError("link down"))
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert seen == [(1.0, "link down")]
+
+
+def test_any_of_with_already_processed_child_fires_immediately():
+    env = Environment()
+    done = Store(env).put("ready")          # processed before any_of sees it
+    winner = env.any_of([env.timeout(5.0), done])
+    env.run(until=0.0)
+    assert winner.triggered and winner.value == "ready"
+    assert env.now == 0.0
+
+
+def test_run_until_horizon_clock_semantics():
+    env = Environment()
+    fired = []
+
+    def ticker():
+        for __ in range(10):
+            yield env.timeout(3.0)
+            fired.append(env.now)
+
+    env.process(ticker())
+    env.run(until=10.0)
+    # Events past the horizon stay queued; the clock parks exactly on it.
+    assert env.now == 10.0
+    assert fired == [3.0, 6.0, 9.0]
+    env.run()
+    assert env.now == 30.0
+    assert fired[-1] == 30.0
+
+
+def test_run_until_horizon_in_the_past_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_resource_over_release_rejected():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grant = resource.request()
+    resource.release(grant)
+    with pytest.raises(SimulationError):
+        resource.release(grant)
+
+
+def test_resource_release_foreign_request_rejected():
+    env = Environment()
+    first, second = Resource(env), Resource(env)
+    grant = first.request()
+    with pytest.raises(SimulationError):
+        second.release(grant)
+
+
+def test_store_put_returns_completed_event():
+    env = Environment()
+    store = Store(env)
+    done = store.put("payload")
+    assert done.triggered and done.processed and done.ok
+    assert done.value == "payload"
+    assert len(store) == 1
+
+    def consumer():
+        value = yield store.put("second")   # resumes immediately, same tick
+        assert value == "second"
+        item = yield store.get()
+        return (env.now, item)
+
+    assert env.run(env.process(consumer())) == (0.0, "payload")
+
+
+def test_store_put_wakes_waiting_getter():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def getter():
+        item = yield store.get()
+        received.append((env.now, item))
+
+    def putter():
+        yield env.timeout(2.0)
+        store.put("late")
+
+    env.process(getter())
+    env.process(putter())
+    env.run()
+    assert received == [(2.0, "late")]
