@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench verify
+.PHONY: test bench verify chaos-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -21,3 +21,10 @@ verify:
 	timeout 600 $(PYTEST) -x -q
 	timeout 120 $(PYTEST) benchmarks/bench_engine.py -q --benchmark-disable
 	@echo "verify: OK"
+
+# A quick end-to-end fault sweep on both platforms: exercises the fault
+# subsystem, the hardened runner, and strict invariant checking in one go.
+chaos-smoke:
+	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro chaos --platform all \
+		--transactions 100 --timeout 60 --retries 1
+	@echo "chaos-smoke: OK"

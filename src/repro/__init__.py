@@ -23,17 +23,29 @@ independent experiment cells over worker processes).
 from repro.core.flows import Scope, StreamSpec
 from repro.core.microbench import MicroBench
 from repro.errors import (
+    CellExecutionError,
     ChipletError,
     ConfigurationError,
     ConvergenceError,
+    FaultInjectionError,
     MeasurementError,
     SimulationError,
     TopologyError,
 )
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
 from repro.platform.numa import NpsMode, Position
 from repro.platform.presets import epyc_7302, epyc_9634
 from repro.platform.topology import Platform, PlatformSpec
-from repro.runner import Cell, platform_map, resolve_jobs, run_cells, starmap
+from repro.runner import (
+    Cell,
+    CellFailure,
+    CellResult,
+    platform_map,
+    resolve_jobs,
+    run_cells,
+    run_cells_detailed,
+    starmap,
+)
 from repro.transport.message import OpKind
 
 __version__ = "1.0.0"
@@ -50,12 +62,20 @@ __all__ = [
     "epyc_7302",
     "epyc_9634",
     "Cell",
+    "CellFailure",
+    "CellResult",
     "resolve_jobs",
     "run_cells",
+    "run_cells_detailed",
     "starmap",
     "platform_map",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "CellExecutionError",
     "ChipletError",
     "ConfigurationError",
+    "FaultInjectionError",
     "ConvergenceError",
     "MeasurementError",
     "SimulationError",

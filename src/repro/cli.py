@@ -53,7 +53,33 @@ def _jobs_arg(text: str):
     return count
 
 
+#: Long-form spellings accepted anywhere a platform name is (e.g. scripts
+#: that pass the marketing name verbatim).
+_PLATFORM_ALIASES = {
+    "epyc7302": "7302",
+    "epyc-7302": "7302",
+    "epyc9634": "9634",
+    "epyc-9634": "9634",
+}
+
+
+def _severity_arg(text: str) -> float:
+    """argparse type for --severity: a float in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number in [0, 1], got {text!r}"
+        ) from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"severity must be in [0, 1], got {value}"
+        )
+    return value
+
+
 def _platforms_for(name: str) -> List[Platform]:
+    name = _PLATFORM_ALIASES.get(name.strip().lower(), name)
     if name == "all":
         return [epyc_7302(), epyc_9634()]
     try:
@@ -128,6 +154,38 @@ def build_parser() -> argparse.ArgumentParser:
     accel_cmd.add_argument(
         "--dispatch-jobs", type=int, default=8,
         help="dispatch jobs simulated per scenario (default 8)",
+    )
+    chaos_cmd = add(
+        "chaos", "graceful degradation under dynamic fabric faults",
+        platform_default="7302",
+    )
+    chaos_cmd.add_argument(
+        "--severity", type=_severity_arg, default=None, metavar="S",
+        help=(
+            "single fault severity in [0,1] (0 = healthy baseline); "
+            "default: sweep 0, 0.25, 0.5, 0.75, 1"
+        ),
+    )
+    chaos_cmd.add_argument(
+        "--transactions", type=int, default=200,
+        help="DES transactions per core per severity (default 200)",
+    )
+    chaos_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout (default: none)",
+    )
+    chaos_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="retry attempts per failed cell (default 0)",
+    )
+    chaos_mode = chaos_cmd.add_mutually_exclusive_group()
+    chaos_mode.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first severity that fails",
+    )
+    chaos_mode.add_argument(
+        "--keep-going", action="store_true", default=True,
+        help="report failed severities in their row and continue (default)",
     )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
@@ -244,6 +302,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 platform, jobs=args.dispatch_jobs, seed=args.seed
             )
             out.append(accel_dispatch.render(reports))
+
+    elif args.command == "chaos":
+        from repro.experiments import chaos
+
+        severities = (
+            chaos.SEVERITIES if args.severity is None else (args.severity,)
+        )
+        for platform in _platforms_for(args.platform):
+            results = chaos.run(
+                platform,
+                severities=severities,
+                seed=args.seed,
+                transactions_per_core=args.transactions,
+                jobs=jobs,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                fail_fast=args.fail_fast,
+            )
+            out.append(chaos.render(platform.name, results))
 
     elif args.command == "devtree":
         from repro.telemetry.devtree import build_devtree, render_dts

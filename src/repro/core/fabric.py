@@ -14,7 +14,10 @@ bound of §3.3.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import FaultSchedule
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.fluid.solver import Channel, FluidFlow, Policy, solve
@@ -54,6 +57,26 @@ class FabricModel:
         unknown = set(self.derates) - set(self._channels)
         if unknown:
             raise ConfigurationError(f"derates for unknown channels: {unknown}")
+
+    @classmethod
+    def with_faults(
+        cls,
+        platform: Platform,
+        schedule: "FaultSchedule",
+        at_time: Optional[float] = None,
+    ) -> "FabricModel":
+        """A fabric degraded by a fault schedule.
+
+        ``at_time=None`` takes each channel's *deepest* factor over the whole
+        schedule (the steady-state worst case); a concrete time samples the
+        schedule at that instant. A null schedule (e.g. ``scaled(0.0)``)
+        compiles to a pristine fabric, identical to ``FabricModel(platform)``.
+        """
+        derates = (
+            schedule.worst_derates() if at_time is None
+            else schedule.derates_at(at_time)
+        )
+        return cls(platform, derates=derates or None)
 
     # ----------------------------------------------------------------- build
 

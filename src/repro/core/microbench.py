@@ -14,7 +14,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.schedule import FaultSchedule
 
 from repro.analysis.stats import LatencyStats
 from repro.core.fabric import FabricModel
@@ -206,16 +209,23 @@ class MicroBench:
         transactions_per_core: int = 600,
         use_token_pools: bool = True,
         pattern: Pattern = Pattern.SEQUENTIAL,
+        fault_schedule: Optional["FaultSchedule"] = None,
+        strict: bool = False,
     ) -> LoadResult:
         """Latency under a rate-controlled load (one point of a Figure 3 sweep).
 
         ``pattern`` selects the per-core issue window: random accesses defeat
         the prefetchers, so their closed-loop window is the platform's
         random-read MLP instead of the full sequential one.
+
+        ``fault_schedule`` (times in nanoseconds) degrades the fabric
+        mid-run through :func:`repro.faults.inject.install`; a null schedule
+        leaves the run bit-identical to a healthy one. ``strict`` turns on
+        engine time-monotonicity checks and byte-conservation auditing.
         """
-        env = Environment()
+        env = Environment(strict=strict)
         resolver = PathResolver(env, self.platform, seed=self.seed)
-        executor = TransactionExecutor(env)
+        executor = TransactionExecutor(env, strict=strict)
         bw = self.platform.spec.bandwidth
         if window_per_core is None:
             if target == "cxl":
@@ -250,6 +260,10 @@ class MicroBench:
             }
         else:
             raise ConfigurationError(f"unknown target {target!r}")
+        if fault_schedule is not None:
+            from repro.faults.inject import install
+
+            install(resolver, fault_schedule)
         issuer = ClosedLoopIssuer(
             env,
             executor,
@@ -260,4 +274,7 @@ class MicroBench:
             count_per_worker=transactions_per_core,
             rate_gbps=offered_gbps,
         )
-        return issuer.run()
+        result = issuer.run()
+        if strict:
+            executor.assert_conserved(drained=True)
+        return result

@@ -7,6 +7,8 @@ distinguish configuration problems from runtime simulation problems.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ChipletError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -30,3 +32,31 @@ class ConvergenceError(ChipletError):
 
 class MeasurementError(ChipletError):
     """A measurement was requested on insufficient or invalid samples."""
+
+
+class FaultInjectionError(ChipletError):
+    """A fault schedule is invalid or targets hardware the platform lacks."""
+
+
+class CellExecutionError(ChipletError):
+    """A runner cell failed after exhausting its attempts.
+
+    Carries enough context to re-run exactly the failing cell: the cell's
+    submission index, how many attempts were made, and the underlying cause
+    (also chained as ``__cause__`` so tracebacks stay informative).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell_index: int,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.cell_index = cell_index
+        self.attempts = attempts
+        self.cause = cause
+        if cause is not None:
+            self.__cause__ = cause

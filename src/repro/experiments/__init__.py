@@ -9,6 +9,7 @@ DESIGN.md §6; EXPERIMENTS.md records paper-vs-measured values.
 from repro.experiments import (  # noqa: F401
     ablations,
     accel_dispatch,
+    chaos,
     fig3,
     fig4,
     fig5,
@@ -33,6 +34,7 @@ __all__ = [
     "fig6",
     "ablations",
     "accel_dispatch",
+    "chaos",
     "os_scaling",
     "noc_routing",
     "patterns",

@@ -1,0 +1,201 @@
+"""``repro chaos`` — graceful-degradation curves under dynamic fabric faults.
+
+The paper's four idiosyncrasies all sharpen when the fabric degrades, and
+real GMI/xGMI links flap and derate over time rather than failing once at
+t=0. This experiment sweeps a representative dynamic fault schedule across
+severities (0 = healthy, 1 = full depth) and reports, per severity, one
+indicator per idiosyncrasy:
+
+* **heterogeneous bandwidth domains** — whole-CPU streaming read bandwidth
+  on the worst-case degraded fabric (fluid backend), plus which domain
+  binds it;
+* **sender-driven partitioning** — the fraction of its demand a paced
+  victim on the faulted chiplet still receives against an unthrottled hog
+  elsewhere (fluid backend);
+* **extended paths / inconsistent BDPs** — average and P999 loaded latency
+  of a chiplet streaming through its faulted GMI port while the schedule
+  plays out mid-run (DES backend with interposed fault processes, strict
+  invariant checking on).
+
+Severity 0 compiles to the null schedule everywhere, so its row is
+byte-identical to a run that never heard of faults — the property
+``tests/test_failure_injection.py`` pins down.
+
+Each severity is one independent runner cell, executed through the hardened
+:func:`repro.runner.run_cells_detailed` (per-cell timeouts, retry, crash
+recovery), so one pathological severity cannot take down the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.fabric import FabricModel
+from repro.core.flows import Scope, StreamSpec
+from repro.core.microbench import MicroBench
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.platform.topology import Platform
+from repro.runner import Cell, CellResult, run_cells_detailed
+from repro.transport.message import OpKind
+
+__all__ = [
+    "ChaosPoint", "SEVERITIES", "default_schedule", "run_point", "run",
+    "render",
+]
+
+#: Default severity sweep: healthy first, then deepening degradation.
+SEVERITIES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Demand of the paced victim stream in the partitioning probe (GB/s).
+#: Fits comfortably on a healthy GMI port (share 1.0 at severity 0) but
+#: exceeds a fully derated one, so the share falls smoothly with severity.
+_VICTIM_DEMAND_GBPS = 24.0
+
+#: Snapshot time (ns) for the fluid probes: mid-derate, post-UMC-failure,
+#: outside the stall window at every severity (severity only shortens the
+#: stall, which starts at t=1400 in :func:`default_schedule`). The worst-case
+#: fabric (``with_faults`` default) always contains the full-depth stall, so
+#: it flatlines instead of degrading gracefully with severity.
+_FLUID_PROBE_T_NS = 900.0
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """One severity's graceful-degradation indicators."""
+
+    severity: float
+    cpu_read_gbps: float
+    binding: str
+    victim_share: float
+    avg_ns: float
+    p999_ns: float
+
+
+def default_schedule(seed: int = 0) -> FaultSchedule:
+    """A representative dynamic fault mix (times in ns, the DES clock).
+
+    One slow-rolling GMI derate, a flapping NoC, a permanent UMC failure and
+    a brief full GMI stall — every event targets channels that exist on all
+    evaluated platforms, so the same schedule sweeps 7302 and 9634. The
+    windows sit inside the first ~2 µs, where the DES probe's measurement
+    interval lies.
+    """
+    return FaultSchedule(
+        [
+            FaultEvent.derate("gmi0:r", start=200.0, end=1200.0, factor=0.35),
+            FaultEvent.flapping(
+                "noc:r", start=0.0, end=2500.0, period=250.0, factor=0.5,
+            ),
+            FaultEvent.failure("umc0:r", start=700.0, factor=0.3),
+            FaultEvent.stall("gmi0:r", start=1400.0, end=1700.0),
+        ],
+        seed=seed,
+    )
+
+
+def run_point(
+    platform: Platform,
+    severity: float,
+    seed: int = 0,
+    transactions_per_core: int = 200,
+) -> ChaosPoint:
+    """All four indicators at one severity (one independent runner cell)."""
+    schedule = default_schedule(seed=seed).scaled(severity)
+
+    # Fluid backend: the fabric as degraded mid-schedule.
+    fabric = FabricModel.with_faults(platform, schedule, at_time=_FLUID_PROBE_T_NS)
+    cpu_cores = StreamSpec.cores_for_scope(platform, Scope.CPU)
+    scan = StreamSpec("scan", OpKind.READ, cpu_cores)
+    cpu_read = fabric.achieved_gbps([scan])["scan"]
+    binding = fabric.binding_channel([scan]) or "-"
+
+    victim_cores = tuple(c.core_id for c in platform.cores_of_ccd(0))
+    hog_cores = tuple(c.core_id for c in platform.cores_of_ccd(1))
+    victim = StreamSpec(
+        "victim", OpKind.READ, victim_cores, demand_gbps=_VICTIM_DEMAND_GBPS
+    )
+    hog = StreamSpec("hog", OpKind.READ, hog_cores)
+    granted = fabric.achieved_gbps([victim, hog])["victim"]
+    victim_share = granted / _VICTIM_DEMAND_GBPS
+
+    # DES backend: the faulted chiplet streaming through its GMI port while
+    # the schedule plays out mid-run. Strict mode guards the injected run.
+    bench = MicroBench(platform, seed=seed)
+    result = bench.loaded_latency(
+        list(victim_cores),
+        OpKind.READ,
+        offered_gbps=None,
+        transactions_per_core=transactions_per_core,
+        fault_schedule=schedule,
+        strict=True,
+    )
+    return ChaosPoint(
+        severity=severity,
+        cpu_read_gbps=cpu_read,
+        binding=binding,
+        victim_share=victim_share,
+        avg_ns=result.stats.mean,
+        p999_ns=result.stats.p999,
+    )
+
+
+def run(
+    platform: Platform,
+    severities: Sequence[float] = SEVERITIES,
+    seed: int = 0,
+    transactions_per_core: int = 200,
+    jobs=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    fail_fast: bool = False,
+) -> List[CellResult]:
+    """Sweep severities; one hardened-runner cell per severity.
+
+    Returns the structured :class:`~repro.runner.CellResult` list (submission
+    order = severity order): with ``fail_fast=False`` a failed severity is
+    reported in its row instead of aborting the sweep.
+    """
+    cells = [
+        Cell(
+            run_point,
+            (platform, float(severity)),
+            dict(seed=seed, transactions_per_core=transactions_per_core),
+        )
+        for severity in severities
+    ]
+    return run_cells_detailed(
+        cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
+        fail_fast=fail_fast,
+    )
+
+
+def render(platform_name: str, results: Sequence[CellResult]) -> str:
+    """The graceful-degradation table, one row per severity."""
+    headers = [
+        "severity", "CPU read GB/s", "binding", "victim share",
+        "avg ns", "P999 ns",
+    ]
+    rows = []
+    for result in results:
+        if result.ok:
+            point = result.value
+            rows.append([
+                f"{point.severity:.2f}",
+                f"{point.cpu_read_gbps:.1f}",
+                point.binding,
+                f"{point.victim_share:.3f}",
+                f"{point.avg_ns:.1f}",
+                f"{point.p999_ns:.1f}",
+            ])
+        else:
+            rows.append([
+                f"cell {result.index}",
+                f"FAILED ({result.failure.kind})",
+                "-", "-", "-", "-",
+            ])
+    return render_table(
+        headers, rows,
+        title=f"Chaos sweep: graceful degradation ({platform_name})",
+    )

@@ -1,0 +1,24 @@
+"""Dynamic fault injection for the chiplet fabric.
+
+The paper's four idiosyncrasies (extended paths, heterogeneous bandwidth
+domains, inconsistent BDPs, sender-driven partitioning) all sharpen when the
+fabric degrades — and real GMI/xGMI links flap and derate over time rather
+than failing once at t=0. This package models that regime:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, a declarative,
+  severity-scalable timeline of fault events (transient derates, permanent
+  link failures, deterministic flapping, device stalls);
+* :mod:`repro.faults.inject` — the DES backend: interposer processes that
+  re-scale link service rates (and hold device lanes) mid-run inside a live
+  :class:`~repro.sim.engine.Environment`.
+
+The fluid backend needs no interposer: a schedule compiles directly to
+:class:`~repro.core.fabric.FabricModel` derates (steady state) or to
+per-channel capacity factors for
+:class:`~repro.fluid.timeseries.FluidSimulator` (time-varying).
+"""
+
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.faults.inject import install
+
+__all__ = ["FaultEvent", "FaultKind", "FaultSchedule", "install"]

@@ -16,9 +16,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.timeseries import TimeSeries
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.fluid.adaptation import AdaptationModel, InstantAdaptation
 from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+
+#: Tolerance for the strict-mode allocation invariants (GB/s).
+_INVARIANT_EPS = 1e-6
 
 __all__ = ["DemandSchedule", "FlowTrace", "FluidSimulator"]
 
@@ -70,9 +73,18 @@ class FluidSimulator:
 
     ``capacity_schedules`` makes channel capacities time-varying: a mapping
     from channel name to a schedule of capacity *multipliers* (base 1.0,
-    deltas negative for throttling). This models link-level events — a
-    thermally throttled P Link, a flapping xGMI lane — and the flows'
-    adaptation to them.
+    deltas negative for throttling). Any object with an ``at(t_s) -> float``
+    method qualifies — a :class:`DemandSchedule`, or the multiplicative
+    per-channel factor curves a :class:`~repro.faults.schedule.FaultSchedule`
+    compiles to (``schedule.capacity_factors()``). This models link-level
+    events — a thermally throttled P Link, a flapping xGMI lane — and the
+    flows' adaptation to them.
+
+    ``strict=True`` checks the solver's allocation invariants every step —
+    no flow above its demand, no channel above its (scheduled) capacity —
+    raising :class:`~repro.errors.SimulationError` with the offending flow
+    or channel and timestamp instead of silently producing plausible-but-
+    wrong curves.
     """
 
     def __init__(
@@ -83,6 +95,7 @@ class FluidSimulator:
         policy: Policy = Policy.DEMAND_PROPORTIONAL,
         dt_s: float = 0.005,
         capacity_schedules: Optional[Dict[str, DemandSchedule]] = None,
+        strict: bool = False,
     ) -> None:
         if dt_s <= 0:
             raise ConfigurationError(f"dt must be positive, got {dt_s}")
@@ -107,6 +120,37 @@ class FluidSimulator:
         }
         self.policy = policy
         self.dt_s = dt_s
+        self.strict = bool(strict)
+
+    def _check_invariants(
+        self, flows: List[FluidFlow], allocation: Dict[str, float], t_s: float
+    ) -> None:
+        """Strict mode: the solver's contract, verified on every step."""
+        loads: Dict[str, float] = {}
+        capacities: Dict[str, float] = {}
+        for flow in flows:
+            granted = allocation[flow.name]
+            if granted < -_INVARIANT_EPS:
+                raise SimulationError(
+                    f"t={t_s:.4f}s: flow {flow.name!r} got a negative "
+                    f"allocation ({granted} GB/s)"
+                )
+            if granted > flow.demand_gbps + _INVARIANT_EPS:
+                raise SimulationError(
+                    f"t={t_s:.4f}s: flow {flow.name!r} was allocated "
+                    f"{granted} GB/s above its demand {flow.demand_gbps}"
+                )
+            for channel, weight in flow.path:
+                loads[channel.name] = (
+                    loads.get(channel.name, 0.0) + granted * weight
+                )
+                capacities[channel.name] = channel.capacity_gbps
+        for name, load in loads.items():
+            if load > capacities[name] * (1.0 + 1e-9) + _INVARIANT_EPS:
+                raise SimulationError(
+                    f"t={t_s:.4f}s: channel {name!r} oversubscribed — "
+                    f"load {load} GB/s exceeds capacity {capacities[name]}"
+                )
 
     def _flows_at(self, t_s: float) -> List[FluidFlow]:
         """The flow set with channel capacities scaled for time ``t``."""
@@ -155,7 +199,10 @@ class FluidSimulator:
             t = step * self.dt_s
             for flow in self.flows:
                 flow.demand_gbps = self.schedules[flow.name].at(t)
-            allocation = solve(self._flows_at(t), self.policy)
+            stepped = self._flows_at(t)
+            allocation = solve(stepped, self.policy)
+            if self.strict:
+                self._check_invariants(stepped, allocation, t)
             for flow in self.flows:
                 achieved = self.adaptations[flow.name].step(
                     allocation[flow.name], self.dt_s

@@ -1,4 +1,4 @@
-"""Deterministic fan-out of independent experiment cells.
+"""Deterministic, fault-tolerant fan-out of independent experiment cells.
 
 Every paper artifact decomposes into *cells* — independent
 (platform × panel × op × load-point) work items that each build their own
@@ -18,7 +18,33 @@ arguments (the seed tree, not wall-clock or scheduling). Consequently::
 
 holds bit-for-bit — ``--jobs`` trades wall-clock for CPU without touching a
 single rendered byte. ``tests/test_runner.py`` asserts this for the Figure 3
-and Table 2 pipelines.
+and Table 2 pipelines. Hardening never bends the contract: retries re-run
+the same pure cell, and crash recovery re-runs cells in-process with the
+same arguments, so every *successful* cell's value is identical to what a
+clean ``jobs=1`` run would have produced.
+
+Hardening
+---------
+
+:func:`run_cells_detailed` is the structured core: it returns one
+:class:`CellResult` per cell (value or :class:`CellFailure`, with attempt
+count and duration) instead of raising mid-flight, and layers on
+
+* **per-cell timeouts** (``timeout_s``) — a cell whose result does not
+  arrive in time is recorded as a timeout failure instead of hanging the
+  whole sweep (pool mode only: in-process execution cannot be preempted);
+* **bounded retry with backoff** (``retries``, ``backoff_s``) — failed
+  cells are re-submitted to a fresh pool, with exponentially growing
+  sleeps between attempts;
+* **crash recovery** — a worker death (``BrokenProcessPool``) poisons every
+  uncollected future, so the still-unresolved cells are re-run *in-process*,
+  exactly as ``jobs=1`` would have run them;
+* **fail-fast / keep-going** — ``fail_fast=True`` raises
+  :class:`~repro.errors.CellExecutionError` at the first unrecoverable
+  failure; the default collects every failure and lets the caller decide.
+
+:func:`run_cells` keeps the original simple surface: values only, first
+cell failure re-raised as-is.
 
 Job-count resolution
 --------------------
@@ -35,13 +61,25 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import CellExecutionError, ConfigurationError
 
-__all__ = ["Cell", "resolve_jobs", "run_cells", "starmap", "platform_map"]
+__all__ = [
+    "Cell",
+    "CellFailure",
+    "CellResult",
+    "resolve_jobs",
+    "run_cells",
+    "run_cells_detailed",
+    "starmap",
+    "platform_map",
+]
 
 #: Environment variable consulted when ``jobs`` is None.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -65,6 +103,54 @@ class Cell:
     def run(self) -> Any:
         """Execute the cell in the current process."""
         return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Why one cell ultimately failed.
+
+    ``kind`` is ``"error"`` (the cell raised), ``"timeout"`` (its result
+    missed the per-cell deadline), or ``"crash"`` (its worker process died).
+    ``error`` is the final underlying exception.
+    """
+
+    index: int
+    kind: str
+    error: BaseException
+    attempts: int
+
+    _KINDS = ("error", "timeout", "crash")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"failure kind must be one of {self._KINDS}, got {self.kind!r}"
+            )
+
+    def as_exception(self) -> CellExecutionError:
+        """Wrap as a raisable error carrying the cell context."""
+        return CellExecutionError(
+            f"cell {self.index} failed ({self.kind}) after "
+            f"{self.attempts} attempt(s): {self.error!r}",
+            cell_index=self.index,
+            attempts=self.attempts,
+            cause=self.error,
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Structured outcome of one cell: a value or a failure, never both."""
+
+    index: int
+    value: Any = None
+    failure: Optional[CellFailure] = None
+    attempts: int = 1
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
 
 def resolve_jobs(jobs: JobsSpec = None) -> int:
@@ -94,28 +180,192 @@ def _picklable(cells: Sequence[Cell]) -> bool:
         return False
 
 
-def run_cells(cells: Iterable[Cell], jobs: JobsSpec = None) -> List[Any]:
-    """Run every cell; results come back in submission order.
+# ---------------------------------------------------------------- execution
 
-    With ``jobs > 1`` the cells execute in worker processes
-    (``ProcessPoolExecutor``); exceptions raised inside a cell propagate to
-    the caller either way.
+
+def _run_in_process(cell: Cell, index: int, attempt: int) -> CellResult:
+    """Run one cell here; exceptions become structured failures."""
+    started = time.perf_counter()
+    try:
+        value = cell.run()
+    except Exception as exc:
+        return CellResult(
+            index,
+            failure=CellFailure(index, "error", exc, attempt),
+            attempts=attempt,
+            duration_s=time.perf_counter() - started,
+        )
+    return CellResult(
+        index, value=value, attempts=attempt,
+        duration_s=time.perf_counter() - started,
+    )
+
+
+def _run_batch_pooled(
+    cells: Sequence[Cell],
+    indices: Sequence[int],
+    workers: int,
+    timeout_s: Optional[float],
+    attempt: int,
+) -> Optional[Dict[int, CellResult]]:
+    """Run ``indices`` in one worker pool; None if no pool can be created.
+
+    The pool is created fresh per attempt, so a retry after a crash or a
+    poisoned interpreter state starts clean. Results are collected in
+    submission order; a ``BrokenProcessPool`` on any future switches the
+    remaining cells to in-process execution (the ISSUE's "re-run only the
+    failed cells, in-process"), which preserves every surviving cell's
+    value exactly as ``jobs=1`` would compute it.
     """
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(indices)))
+    except (OSError, PermissionError):
+        # Sandboxed or fork-restricted environments: no pool at all. This —
+        # and only this — is the graceful-degradation case; errors raised
+        # *inside* a cell must never trigger it.
+        return None
+    outcomes: Dict[int, CellResult] = {}
+    broken = False
+    try:
+        futures = {
+            index: pool.submit(
+                cells[index].fn, *cells[index].args, **cells[index].kwargs
+            )
+            for index in indices
+        }
+        for index in indices:
+            if broken:
+                outcomes[index] = _run_in_process(cells[index], index, attempt)
+                continue
+            started = time.perf_counter()
+            try:
+                value = futures[index].result(timeout=timeout_s)
+            except BrokenProcessPool:
+                # The worker died (OOM kill, segfault, os._exit). Everything
+                # not yet collected is poisoned; fall back to in-process for
+                # this cell and the rest of the batch. If the re-run fails
+                # too, report it as a crash — the worker death is the context
+                # that matters for this cell.
+                broken = True
+                rerun = _run_in_process(cells[index], index, attempt)
+                if not rerun.ok:
+                    rerun = CellResult(
+                        index,
+                        failure=CellFailure(
+                            index, "crash", rerun.failure.error, attempt
+                        ),
+                        attempts=attempt,
+                        duration_s=rerun.duration_s,
+                    )
+                outcomes[index] = rerun
+            except _FuturesTimeout:
+                futures[index].cancel()
+                error = CellExecutionError(
+                    f"cell {index} produced no result within {timeout_s}s",
+                    cell_index=index,
+                    attempts=attempt,
+                )
+                outcomes[index] = CellResult(
+                    index,
+                    failure=CellFailure(index, "timeout", error, attempt),
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - started,
+                )
+            except Exception as exc:
+                # The cell itself raised inside the worker.
+                outcomes[index] = CellResult(
+                    index,
+                    failure=CellFailure(index, "error", exc, attempt),
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - started,
+                )
+            else:
+                outcomes[index] = CellResult(
+                    index, value=value, attempts=attempt,
+                    duration_s=time.perf_counter() - started,
+                )
+    finally:
+        pool.shutdown(wait=not broken, cancel_futures=True)
+    return outcomes
+
+
+def run_cells_detailed(
+    cells: Iterable[Cell],
+    jobs: JobsSpec = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.25,
+    fail_fast: bool = False,
+) -> List[CellResult]:
+    """Run every cell; one :class:`CellResult` per cell, submission order.
+
+    ``timeout_s`` bounds the wait for each cell's result (pool mode only);
+    ``retries`` re-runs failed cells up to that many extra attempts, sleeping
+    ``backoff_s * 2**(attempt-1)`` seconds before each retry; ``fail_fast``
+    raises :class:`~repro.errors.CellExecutionError` for the first cell whose
+    attempts are exhausted instead of collecting the failure.
+    """
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(f"timeout_s must be positive, got {timeout_s}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if backoff_s < 0:
+        raise ConfigurationError(f"backoff_s must be >= 0, got {backoff_s}")
     cells = list(cells)
     if not cells:
         return []
     workers = min(resolve_jobs(jobs), len(cells))
-    if workers <= 1 or not _picklable(cells):
-        return [cell.run() for cell in cells]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(cell.fn, *cell.args, **cell.kwargs) for cell in cells
-            ]
-            return [future.result() for future in futures]
-    except (OSError, PermissionError):
-        # Sandboxed or fork-restricted environments: degrade gracefully.
-        return [cell.run() for cell in cells]
+    pooled = workers > 1 and _picklable(cells)
+    results: Dict[int, CellResult] = {}
+    pending = list(range(len(cells)))
+    for attempt in range(1, retries + 2):
+        if not pending:
+            break
+        if attempt > 1 and backoff_s > 0:
+            time.sleep(backoff_s * 2 ** (attempt - 2))
+        batch: Optional[Dict[int, CellResult]] = None
+        if pooled:
+            batch = _run_batch_pooled(cells, pending, workers, timeout_s, attempt)
+            if batch is None:
+                pooled = False
+        if batch is None:
+            batch = {
+                index: _run_in_process(cells[index], index, attempt)
+                for index in pending
+            }
+        results.update(batch)
+        final = attempt == retries + 1
+        still_failed = [i for i in pending if not results[i].ok]
+        if fail_fast and final and still_failed:
+            raise results[still_failed[0]].failure.as_exception()
+        pending = still_failed
+    return [results[index] for index in range(len(cells))]
+
+
+def run_cells(
+    cells: Iterable[Cell],
+    jobs: JobsSpec = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.25,
+) -> List[Any]:
+    """Run every cell; results come back in submission order.
+
+    With ``jobs > 1`` the cells execute in worker processes
+    (``ProcessPoolExecutor``); exceptions raised inside a cell propagate to
+    the caller either way (after ``retries`` extra attempts, if configured).
+    Worker crashes are recovered transparently by re-running the affected
+    cells in-process; timeouts surface as
+    :class:`~repro.errors.CellExecutionError`.
+    """
+    detailed = run_cells_detailed(
+        cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
+        backoff_s=backoff_s, fail_fast=False,
+    )
+    for result in detailed:
+        if not result.ok:
+            raise result.failure.error
+    return [result.value for result in detailed]
 
 
 def starmap(

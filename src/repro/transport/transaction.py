@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
+from repro.errors import SimulationError
 from repro.sim.engine import Environment, Event
 from repro.transport.message import Transaction
 from repro.transport.path import CompiledPath
@@ -19,17 +20,35 @@ class TransactionExecutor:
     clears each queued stage in path order, then spends the remaining fixed
     propagation latency. Tokens are held until completion, which is what
     couples read and write streams sharing a chiplet (Figure 6).
+
+    The executor keeps byte-conservation books — ``bytes_injected``,
+    ``bytes_delivered``, ``bytes_in_flight`` — cheap enough to run always.
+    ``strict=True`` additionally *checks* them after every completion (plus
+    per-transaction sanity: positive size, causal timestamps) and raises
+    :class:`~repro.errors.SimulationError` naming the offending transaction;
+    non-strict callers can audit at quiescence via :meth:`assert_conserved`.
     """
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment, strict: bool = False) -> None:
         self.env = env
+        self.strict = bool(strict)
         self.completed: List[Transaction] = []
+        self.bytes_injected = 0
+        self.bytes_delivered = 0
+        self.bytes_in_flight = 0
 
     def execute(
         self, txn: Transaction, path: CompiledPath
     ) -> Generator[Event, None, Transaction]:
         """DES process: run one transaction end-to-end; returns it completed."""
+        if self.strict and txn.size_bytes <= 0:
+            raise SimulationError(
+                f"transaction on {path.name}: non-positive size "
+                f"{txn.size_bytes} at t={self.env.now}"
+            )
         txn.issued_ns = self.env.now
+        self.bytes_injected += txn.size_bytes
+        self.bytes_in_flight += txn.size_bytes
         for pool in path.tokens:
             yield pool.acquire()
         try:
@@ -40,8 +59,43 @@ class TransactionExecutor:
             for pool in reversed(path.tokens):
                 pool.release()
         txn.completed_ns = self.env.now
+        self.bytes_in_flight -= txn.size_bytes
+        self.bytes_delivered += txn.size_bytes
         self.completed.append(txn)
+        if self.strict:
+            if txn.completed_ns < txn.issued_ns:
+                raise SimulationError(
+                    f"transaction on {path.name}: completed at "
+                    f"t={txn.completed_ns} before its issue at "
+                    f"t={txn.issued_ns}"
+                )
+            self.assert_conserved(drained=False)
         return txn
+
+    def assert_conserved(self, drained: bool = True) -> None:
+        """Check byte conservation: injected == delivered + in-flight.
+
+        With ``drained=True`` (the quiescence audit, e.g. after ``env.run()``
+        returns with no load left) the in-flight term must also be zero —
+        any residue is a transaction the simulation lost or abandoned.
+        """
+        if self.bytes_in_flight < 0:
+            raise SimulationError(
+                f"negative in-flight byte count ({self.bytes_in_flight}) "
+                f"at t={self.env.now}: a transaction completed twice"
+            )
+        if self.bytes_injected != self.bytes_delivered + self.bytes_in_flight:
+            raise SimulationError(
+                f"byte conservation violated at t={self.env.now}: injected "
+                f"{self.bytes_injected} != delivered {self.bytes_delivered} "
+                f"+ in-flight {self.bytes_in_flight}"
+            )
+        if drained and self.bytes_in_flight != 0:
+            raise SimulationError(
+                f"{self.bytes_in_flight} bytes still in flight at "
+                f"t={self.env.now}: transactions were lost or abandoned "
+                f"before completion"
+            )
 
     def latencies_ns(self, flow_id: Optional[int] = None) -> List[float]:
         """Latency samples of completed transactions (optionally one flow's)."""
@@ -52,5 +106,12 @@ class TransactionExecutor:
         ]
 
     def reset(self) -> None:
-        """Clear the completed-transaction log."""
+        """Clear the completed-transaction log and re-baseline the books.
+
+        Transactions still in flight stay accounted (injected re-baselines
+        to the in-flight residue), so conservation keeps holding across a
+        mid-run reset.
+        """
         self.completed.clear()
+        self.bytes_injected = self.bytes_in_flight
+        self.bytes_delivered = 0

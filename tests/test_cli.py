@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
-            "suite", "os-scaling", "accel", "devtree", "io-relay",
+            "suite", "os-scaling", "accel", "chaos", "devtree", "io-relay",
             "collective", "noc-routing", "core-to-core", "patterns",
         ):
             args = parser.parse_args([command])
@@ -98,6 +98,61 @@ class TestCommands:
         assert main(["suite", "--platform", "synthetic"]) == 0
         out = capsys.readouterr().out
         assert "practical guidelines" in out
+
+
+class TestChaos:
+    def test_sweep_renders_degradation_table(self, capsys):
+        assert main(["chaos", "--platform", "7302"]) == 0
+        out = capsys.readouterr().out
+        assert "graceful degradation" in out
+        assert "0.00" in out and "1.00" in out
+
+    def test_platform_alias_accepted(self, capsys):
+        assert main(["chaos", "--platform", "epyc7302", "--severity", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "EPYC 7302" in out
+
+    def test_severity_zero_byte_identical_to_healthy_baseline(self, capsys):
+        # The acceptance criterion: a severity-0 chaos run produces exactly
+        # the indicators a run with no fault machinery would.
+        from repro.core.fabric import FabricModel
+        from repro.core.flows import Scope, StreamSpec
+        from repro.core.microbench import MicroBench
+        from repro.experiments.chaos import _VICTIM_DEMAND_GBPS
+        from repro.platform.presets import epyc_7302
+        from repro.transport.message import OpKind
+
+        assert main(["chaos", "--platform", "epyc7302", "--severity", "0"]) == 0
+        row = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("0.00")
+        ][0]
+        cells = [cell.strip() for cell in row.split("|")]
+
+        platform = epyc_7302()
+        fabric = FabricModel(platform)
+        cpu_cores = StreamSpec.cores_for_scope(platform, Scope.CPU)
+        scan = StreamSpec("scan", OpKind.READ, cpu_cores)
+        victim_cores = tuple(c.core_id for c in platform.cores_of_ccd(0))
+        victim = StreamSpec(
+            "victim", OpKind.READ, victim_cores,
+            demand_gbps=_VICTIM_DEMAND_GBPS,
+        )
+        hog_cores = tuple(c.core_id for c in platform.cores_of_ccd(1))
+        hog = StreamSpec("hog", OpKind.READ, hog_cores)
+        result = MicroBench(platform, seed=0).loaded_latency(
+            list(victim_cores), OpKind.READ, offered_gbps=None,
+            transactions_per_core=200,
+        )
+        expected = [
+            "0.00",
+            f"{fabric.achieved_gbps([scan])['scan']:.1f}",
+            fabric.binding_channel([scan]) or "-",
+            f"{fabric.achieved_gbps([victim, hog])['victim'] / _VICTIM_DEMAND_GBPS:.3f}",
+            f"{result.stats.mean:.1f}",
+            f"{result.stats.p999:.1f}",
+        ]
+        assert cells == expected
 
 
 class TestCsvExport:

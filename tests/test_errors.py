@@ -13,6 +13,8 @@ from repro import errors
         errors.SimulationError,
         errors.ConvergenceError,
         errors.MeasurementError,
+        errors.FaultInjectionError,
+        errors.CellExecutionError,
     ],
 )
 def test_all_derive_from_chiplet_error(exc):
@@ -35,3 +37,21 @@ def test_distinct_types():
             raise errors.SimulationError("boom")
         except errors.ConfigurationError:  # pragma: no cover
             pytest.fail("wrong handler caught the error")
+
+
+def test_cell_execution_error_carries_context():
+    cause = OSError("disk vanished")
+    exc = errors.CellExecutionError(
+        "cell 3 failed", cell_index=3, attempts=2, cause=cause
+    )
+    assert exc.cell_index == 3
+    assert exc.attempts == 2
+    assert exc.cause is cause
+    assert exc.__cause__ is cause       # `raise ... from` chaining works
+    assert "cell 3 failed" in str(exc)
+
+
+def test_cell_execution_error_without_cause():
+    exc = errors.CellExecutionError("timed out", cell_index=0, attempts=1)
+    assert exc.cause is None
+    assert exc.__cause__ is None

@@ -4,7 +4,9 @@ import pytest
 
 from repro.core.fabric import FabricModel
 from repro.core.flows import Scope, StreamSpec
+from repro.core.microbench import MicroBench
 from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultSchedule
 from repro.transport.message import OpKind
 
 
@@ -86,3 +88,74 @@ class TestDerates:
         manager.register(StreamSpec("b", OpKind.READ, cores[3:]))
         grants = manager.allocate().grants_gbps
         assert sum(grants.values()) <= 35.2 * 0.4 * 1.01
+
+
+# --------------------------------------------------------------------------
+# dynamic fault schedules on the DES backend
+
+
+def _loaded(platform, schedule=None, cores=4, transactions=150):
+    bench = MicroBench(platform, seed=0)
+    core_ids = [c.core_id for c in platform.cores_of_ccd(0)][:cores]
+    return bench.loaded_latency(
+        core_ids, OpKind.READ, offered_gbps=None,
+        transactions_per_core=transactions,
+        fault_schedule=schedule, strict=True,
+    )
+
+
+class TestDynamicDes:
+    def test_mid_run_derate_raises_latency(self, p7302):
+        healthy = _loaded(p7302)
+        faulted = _loaded(p7302, FaultSchedule([
+            FaultEvent.derate("gmi0:r", start=100.0, end=2000.0, factor=0.25)
+        ]))
+        assert faulted.stats.mean > healthy.stats.mean
+        assert faulted.achieved_gbps < healthy.achieved_gbps
+
+    def test_stall_stretches_the_tail(self, p7302):
+        healthy = _loaded(p7302)
+        stalled = _loaded(p7302, FaultSchedule([
+            FaultEvent.stall("gmi0:r", start=300.0, end=800.0)
+        ]))
+        assert stalled.stats.p999 > healthy.stats.p999
+        assert stalled.elapsed_ns > healthy.elapsed_ns
+
+    def test_severity_zero_is_bit_identical_to_healthy(self, p7302):
+        schedule = FaultSchedule([
+            FaultEvent.derate("gmi0:r", start=100.0, end=900.0, factor=0.3),
+            FaultEvent.flapping(
+                "noc:r", start=0.0, end=1500.0, period=200.0, factor=0.5
+            ),
+            FaultEvent.stall("umc0:r", start=400.0, end=600.0),
+        ])
+        healthy = _loaded(p7302)
+        null = _loaded(p7302, schedule.scaled(0.0))
+        assert null.stats.mean == healthy.stats.mean
+        assert null.stats.p999 == healthy.stats.p999
+        assert null.achieved_gbps == healthy.achieved_gbps
+        assert null.elapsed_ns == healthy.elapsed_ns
+
+    def test_flap_determinism_same_seed_same_curve(self, p7302):
+        def run(seed):
+            schedule = FaultSchedule(
+                [FaultEvent.flapping(
+                    "gmi0:r", start=0.0, end=2000.0, period=150.0, factor=0.3
+                )],
+                seed=seed,
+            )
+            result = _loaded(p7302, schedule)
+            return (result.stats.mean, result.stats.p999, result.elapsed_ns)
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_monotone_severity_degrades_monotonically(self, p7302):
+        schedule = FaultSchedule([
+            FaultEvent.derate("gmi0:r", start=0.0, end=5000.0, factor=0.2)
+        ])
+        means = [
+            _loaded(p7302, schedule.scaled(s)).stats.mean
+            for s in (0.0, 0.5, 1.0)
+        ]
+        assert means[0] < means[1] < means[2]

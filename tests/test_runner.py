@@ -6,12 +6,23 @@ its own Environment and seed streams, and results merge in submission
 order. The Figure 3 / Table 2 tests below assert it on the real pipelines.
 """
 
+import os
+import time
+
 import pytest
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import CellExecutionError, ConfigurationError, SimulationError
 from repro.experiments import fig3, table2
 from repro.platform.presets import epyc_7302
-from repro.runner import Cell, resolve_jobs, run_cells, starmap
+from repro.runner import (
+    Cell,
+    CellFailure,
+    CellResult,
+    resolve_jobs,
+    run_cells,
+    run_cells_detailed,
+    starmap,
+)
 from repro.sim.engine import Environment, Resource, Store
 from repro.transport.message import OpKind
 
@@ -97,6 +108,152 @@ def test_starmap_preserves_order():
     assert starmap(offset, [(1,), (2,), (3,)], jobs=1, delta=10) == [
         11, 12, 13,
     ]
+
+
+# --------------------------------------------------------------------------
+# hardened runner: failures, crashes, timeouts, retries
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_oserror(x):
+    raise OSError(f"cell {x} touched a dead file")
+
+
+def _in_worker():
+    import multiprocessing
+
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def _crash_worker_if_odd(x):
+    if x % 2 == 1 and _in_worker():
+        os._exit(13)        # hard worker death, not an exception
+    return x * x
+
+
+def _crash_worker_raise_main(x):
+    if _in_worker():
+        os._exit(13)
+    raise RuntimeError("dies everywhere")
+
+
+def _sleep_then_return(x, duration_s=0.0):
+    time.sleep(duration_s)
+    return x
+
+
+def _fail_until_marker(x, marker=None):
+    # Fails once per marker file, then succeeds — a deterministic flake.
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("transient failure")
+    return x
+
+
+def test_oserror_inside_cell_propagates():
+    # Regression: an OSError raised *inside* a cell used to be mistaken for
+    # a sandboxed pool and silently re-ran every cell in-process. It must
+    # surface like any other cell error.
+    cells = [Cell(_square, (2,)), Cell(_raise_oserror, (1,))]
+    with pytest.raises(OSError, match="dead file"):
+        run_cells(cells, jobs=2)
+    with pytest.raises(OSError, match="dead file"):
+        run_cells(cells, jobs=1)
+
+
+def test_worker_crash_recovers_all_cells():
+    # A worker dying mid-batch (BrokenProcessPool) must not lose anything:
+    # affected cells re-run in-process and the results match a clean
+    # jobs=1 run bit-for-bit.
+    cells = [Cell(_crash_worker_if_odd, (x,)) for x in range(6)]
+    pooled = run_cells(cells, jobs=3)
+    serial = run_cells(cells, jobs=1)
+    assert pooled == serial == [x * x for x in range(6)]
+
+
+def test_worker_crash_with_failing_rerun_reports_crash():
+    # When the in-process re-run after a worker death fails too, the
+    # failure carries the crash context.
+    cells = [Cell(_crash_worker_raise_main, (0,)), Cell(_square, (3,))]
+    detailed = run_cells_detailed(cells, jobs=2)
+    assert detailed[1].ok and detailed[1].value == 9
+    assert not detailed[0].ok
+    assert detailed[0].failure.kind == "crash"
+    assert isinstance(detailed[0].failure.error, RuntimeError)
+
+
+def test_per_cell_timeout_isolates_slow_cell():
+    cells = [
+        Cell(_sleep_then_return, (0,)),
+        Cell(_sleep_then_return, (1,), dict(duration_s=30.0)),
+        Cell(_sleep_then_return, (2,)),
+    ]
+    detailed = run_cells_detailed(cells, jobs=3, timeout_s=1.0)
+    assert detailed[0].ok and detailed[0].value == 0
+    assert detailed[2].ok and detailed[2].value == 2
+    assert not detailed[1].ok
+    assert detailed[1].failure.kind == "timeout"
+    assert isinstance(detailed[1].failure.error, CellExecutionError)
+
+
+def test_retry_recovers_transient_failure(tmp_path):
+    marker = str(tmp_path / "flaked")
+    cells = [Cell(_fail_until_marker, (7,), dict(marker=marker))]
+    detailed = run_cells_detailed(cells, jobs=1, retries=1, backoff_s=0.01)
+    assert detailed[0].ok and detailed[0].value == 7
+    assert detailed[0].attempts == 2
+
+
+def test_fail_fast_raises_cell_execution_error():
+    cells = [Cell(_raise_oserror, (0,)), Cell(_square, (3,))]
+    with pytest.raises(CellExecutionError) as excinfo:
+        run_cells_detailed(cells, jobs=1, fail_fast=True)
+    assert excinfo.value.cell_index == 0
+    assert excinfo.value.attempts == 1
+    assert isinstance(excinfo.value.cause, OSError)
+
+
+def test_keep_going_reports_per_cell_results():
+    cells = [
+        Cell(_square, (2,)), Cell(_raise_oserror, (9,)), Cell(_square, (4,)),
+    ]
+    detailed = run_cells_detailed(cells, jobs=2)
+    assert [r.ok for r in detailed] == [True, False, True]
+    assert detailed[0].value == 4 and detailed[2].value == 16
+    failure = detailed[1].failure
+    assert failure.kind == "error"
+    exc = failure.as_exception()
+    assert isinstance(exc, CellExecutionError)
+    assert exc.cell_index == 1
+
+
+def test_detailed_results_in_submission_order():
+    cells = [Cell(_square, (x,)) for x in range(8)]
+    for jobs in (1, 4):
+        detailed = run_cells_detailed(cells, jobs=jobs)
+        assert [r.index for r in detailed] == list(range(8))
+        assert [r.value for r in detailed] == [x * x for x in range(8)]
+        assert all(isinstance(r, CellResult) for r in detailed)
+        assert all(r.attempts == 1 for r in detailed)
+
+
+def test_run_cells_validates_parameters():
+    cells = [Cell(_square, (1,))]
+    with pytest.raises(ConfigurationError):
+        run_cells_detailed(cells, timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        run_cells_detailed(cells, retries=-1)
+    with pytest.raises(ConfigurationError):
+        run_cells_detailed(cells, backoff_s=-1.0)
+
+
+def test_cell_failure_kinds_are_closed_set():
+    with pytest.raises(ConfigurationError):
+        CellFailure(index=0, kind="mystery", error=RuntimeError("x"), attempts=1)
 
 
 # --------------------------------------------------------------------------
