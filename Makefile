@@ -9,13 +9,23 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench verify chaos-smoke
+.PHONY: test bench lint verify chaos-smoke
 
 test:
 	$(PYTEST) -x -q
 
 bench:
-	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py -q
+	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
+		benchmarks/bench_netstack.py -q
+
+# Static checks. Guarded: the lint gate is CI's job (ruff is installed
+# there); a container without ruff skips it instead of failing.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
 
 verify:
 	timeout 600 $(PYTEST) -x -q

@@ -1,0 +1,65 @@
+"""Netstack benchmarks: stack overhead on both backends, plus the payoff.
+
+Two questions, answered against the Figure 4–6 contention cell on the 7302:
+
+* what does the stack *cost* — the fluid solve with credit caps and the
+  DES run with interposed credit gates, timed against their stack-off
+  twins;
+* what does it *buy* — the Jain fairness delta each timing sample carries
+  as metadata, so the trajectory in ``BENCH_results.json`` records the
+  fairness restored per second spent.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_netstack.py -q
+"""
+
+from repro.experiments import netstack
+
+#: Generous hang-catching ceilings (seconds), not jitter-sensitive bars.
+FLUID_CEILING_S = 5.0
+DES_CEILING_S = 30.0
+
+#: Small DES cell: enough transactions that credit gating is exercised
+#: under contention, small enough for a sub-second bench body.
+_TRANSACTIONS = 150
+
+
+def bench_netstack_fluid_credits(benchmark, p7302, record_timing):
+    """The credit-capped WEIGHTED fluid solve of the contention cell."""
+    point = benchmark.pedantic(
+        netstack.run_point, args=(p7302, "credits", "fluid"),
+        rounds=3, iterations=1,
+    )
+    off = netstack.run_point(p7302, "off", "fluid")
+    best = benchmark.stats.stats.min
+    record_timing(
+        "bench_netstack_fluid_credits",
+        best,
+        jain_off=off.jain,
+        jain_credits=point.jain,
+    )
+    assert point.jain > off.jain
+    assert best < FLUID_CEILING_S
+
+
+def bench_netstack_des_credits(benchmark, p7302, record_timing):
+    """The DES contention cell with credit gates interposed."""
+    point = benchmark.pedantic(
+        netstack.run_point, args=(p7302, "credits", "des"),
+        kwargs=dict(transactions_per_core=_TRANSACTIONS),
+        rounds=1, iterations=1,
+    )
+    off = netstack.run_point(
+        p7302, "off", "des", transactions_per_core=_TRANSACTIONS
+    )
+    best = benchmark.stats.stats.min
+    record_timing(
+        "bench_netstack_des_credits",
+        best,
+        jain_off=off.jain,
+        jain_credits=point.jain,
+        transactions_per_core=_TRANSACTIONS,
+    )
+    assert point.jain > off.jain
+    assert best < DES_CEILING_S

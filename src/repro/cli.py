@@ -187,6 +187,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true", default=True,
         help="report failed severities in their row and continue (default)",
     )
+    netstack_cmd = add(
+        "netstack", "networking stack vs sender-driven partitioning (§4)",
+        platform_default="7302",
+    )
+    netstack_cmd.add_argument(
+        "--arm", default=None, choices=("off", "credits", "credits+qos"),
+        help="single stack arm (default: compare all three)",
+    )
+    netstack_cmd.add_argument(
+        "--transactions", type=int, default=400,
+        help="DES transactions per core per arm (default 400)",
+    )
+    netstack_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout (default: none)",
+    )
+    netstack_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="retry attempts per failed cell (default 0)",
+    )
+    netstack_cmd.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the comparison on the first cell that fails",
+    )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
     add("collective", "all-reduce algorithm costs across chiplets (§4 #6)")
@@ -321,6 +345,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fail_fast=args.fail_fast,
             )
             out.append(chaos.render(platform.name, results))
+
+    elif args.command == "netstack":
+        from repro.experiments import netstack
+
+        arms = netstack.ARMS if args.arm is None else (args.arm,)
+        for platform in _platforms_for(args.platform):
+            results = netstack.run(
+                platform,
+                arms=arms,
+                seed=args.seed,
+                transactions_per_core=args.transactions,
+                jobs=jobs,
+                timeout_s=args.timeout,
+                retries=args.retries,
+                fail_fast=args.fail_fast,
+            )
+            out.append(netstack.render(platform.name, results))
 
     elif args.command == "devtree":
         from repro.telemetry.devtree import build_devtree, render_dts

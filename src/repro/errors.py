@@ -38,6 +38,11 @@ class FaultInjectionError(ChipletError):
     """A fault schedule is invalid or targets hardware the platform lacks."""
 
 
+class AdmissionError(ChipletError):
+    """A guaranteed-rate flow was refused: admitting it would over-subscribe
+    at least one fabric channel (the admission controller's invariant)."""
+
+
 class CellExecutionError(ChipletError):
     """A runner cell failed after exhausting its attempts.
 

@@ -35,6 +35,10 @@ from repro.analysis.report import render_table
 from repro.core.fabric import FabricModel
 from repro.core.flows import Scope, StreamSpec
 from repro.core.microbench import MicroBench
+from repro.experiments.contention import (
+    VICTIM_DEMAND_GBPS,
+    contention_streams,
+)
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.platform.topology import Platform
 from repro.runner import Cell, CellResult, run_cells_detailed
@@ -48,10 +52,9 @@ __all__ = [
 #: Default severity sweep: healthy first, then deepening degradation.
 SEVERITIES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
 
-#: Demand of the paced victim stream in the partitioning probe (GB/s).
-#: Fits comfortably on a healthy GMI port (share 1.0 at severity 0) but
-#: exceeds a fully derated one, so the share falls smoothly with severity.
-_VICTIM_DEMAND_GBPS = 24.0
+#: Demand of the paced victim stream in the partitioning probe (GB/s);
+#: shared with the other contention-cell experiments.
+_VICTIM_DEMAND_GBPS = VICTIM_DEMAND_GBPS
 
 #: Snapshot time (ns) for the fluid probes: mid-derate, post-UMC-failure,
 #: outside the stall window at every severity (severity only shortens the
@@ -111,12 +114,8 @@ def run_point(
     cpu_read = fabric.achieved_gbps([scan])["scan"]
     binding = fabric.binding_channel([scan]) or "-"
 
-    victim_cores = tuple(c.core_id for c in platform.cores_of_ccd(0))
-    hog_cores = tuple(c.core_id for c in platform.cores_of_ccd(1))
-    victim = StreamSpec(
-        "victim", OpKind.READ, victim_cores, demand_gbps=_VICTIM_DEMAND_GBPS
-    )
-    hog = StreamSpec("hog", OpKind.READ, hog_cores)
+    victim, hog = contention_streams(platform)
+    victim_cores = victim.core_ids
     granted = fabric.achieved_gbps([victim, hog])["victim"]
     victim_share = granted / _VICTIM_DEMAND_GBPS
 

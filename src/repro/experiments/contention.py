@@ -1,0 +1,67 @@
+"""Shared construction of the Figure 4–6 style contention cell.
+
+Several experiments probe sender-driven bandwidth partitioning with the
+same two-stream setup — a rate-controlled *victim* on chiplet 0 against a
+*hog* on chiplet 1 (``chaos`` measures how the victim's share degrades
+with fabric faults; ``netstack`` measures how the networking stack
+restores it). This module is the single source of that construction so
+the probes stay comparable cell-for-cell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import StreamSpec
+from repro.platform.numa import NpsMode
+from repro.platform.topology import Platform
+from repro.transport.message import OpKind
+
+__all__ = ["VICTIM_DEMAND_GBPS", "contention_streams", "shared_umc_ids"]
+
+#: Demand of the paced victim stream (GB/s). Fits comfortably on a healthy
+#: GMI port (share 1.0 when uncontended) but exceeds what a squeezed or
+#: derated path delivers, so the share responds smoothly to pressure.
+VICTIM_DEMAND_GBPS = 24.0
+
+
+def contention_streams(
+    platform: Platform,
+    victim_cores: Optional[Tuple[int, ...]] = None,
+    hog_cores: Optional[Tuple[int, ...]] = None,
+    victim_demand_gbps: float = VICTIM_DEMAND_GBPS,
+    hog_demand_gbps: Optional[float] = None,
+) -> Tuple[StreamSpec, StreamSpec]:
+    """The canonical (victim, hog) stream pair.
+
+    Defaults reproduce the partitioning probe: the victim paces
+    ``VICTIM_DEMAND_GBPS`` from chiplet 0, the hog reads unthrottled
+    (``hog_demand_gbps=None``) from chiplet 1. Callers reshape the cell by
+    overriding the core sets (e.g. a small single-CCX victim against a
+    whole-chiplet aggressor) or by pacing the hog at an aggressive rate.
+    """
+    if victim_cores is None:
+        victim_cores = tuple(
+            core.core_id for core in platform.cores_of_ccd(0)
+        )
+    if hog_cores is None:
+        hog_cores = tuple(core.core_id for core in platform.cores_of_ccd(1))
+    victim = StreamSpec(
+        "victim", OpKind.READ, victim_cores, demand_gbps=victim_demand_gbps
+    )
+    hog = StreamSpec(
+        "hog", OpKind.READ, hog_cores, demand_gbps=hog_demand_gbps
+    )
+    return victim, hog
+
+
+def shared_umc_ids(platform: Platform, ccd_id: int = 0) -> List[int]:
+    """The victim chiplet's NPS4 interleave set.
+
+    Forcing both streams onto this set puts them in front of the *same*
+    memory endpoints — the endpoint contention the Figure 4–6 cells need.
+    (The chiplets' default NPS4 domains are disjoint, which would let the
+    streams pass each other untouched.)
+    """
+    return FabricModel(platform).umc_ids_for_nps(ccd_id, NpsMode.NPS4)

@@ -1,0 +1,56 @@
+"""``repro.net`` — the treatment layer: an intra-server networking stack.
+
+The reproduction's other packages *diagnose* the paper's idiosyncrasies
+(telemetry, faults, the fluid and DES backends); this package is the §4
+*treatment*: receiver-driven credit-based congestion control
+(:mod:`repro.net.credits`), telemetry-driven multipath selection
+(:mod:`repro.net.multipath`), and QoS classes with admission control
+(:mod:`repro.net.qos`), tied together by one configuration
+(:class:`~repro.net.stack.NetStackConfig`) that realizes identically on
+both backends — :func:`~repro.net.stack.fluid_allocation` for steady state,
+:func:`~repro.net.inject.install` for the discrete-event simulator.
+"""
+
+from repro.net.credits import (
+    CreditConfig,
+    CreditScheduler,
+    credit_budget,
+    credit_rate_gbps,
+    credit_share,
+    endpoint_rate_gbps,
+    endpoint_rtt_ns,
+)
+from repro.net.inject import CreditGate, NetInstallation, install
+from repro.net.multipath import MultipathSelector, link_for_channel
+from repro.net.qos import (
+    CLASS_SPECS,
+    AdmissionController,
+    ClassSpec,
+    QosClass,
+    class_credit_scales,
+    class_weights,
+)
+from repro.net.stack import NetStackConfig, fluid_allocation
+
+__all__ = [
+    "CreditConfig",
+    "CreditScheduler",
+    "credit_budget",
+    "credit_rate_gbps",
+    "credit_share",
+    "endpoint_rate_gbps",
+    "endpoint_rtt_ns",
+    "CreditGate",
+    "NetInstallation",
+    "install",
+    "MultipathSelector",
+    "link_for_channel",
+    "CLASS_SPECS",
+    "AdmissionController",
+    "ClassSpec",
+    "QosClass",
+    "class_credit_scales",
+    "class_weights",
+    "NetStackConfig",
+    "fluid_allocation",
+]

@@ -1,0 +1,282 @@
+"""Receiver-driven credit-based congestion control.
+
+Today's chiplet fabrics let the *sender* decide how much of a link it
+occupies: whoever keeps more requests outstanding wins the FIFO arbitration
+(§3.5, "sender-driven aggressive bandwidth partitioning"). The fix the
+paper's §4 argues for is the one datacenter transports converged on: make
+the *receiver* hand out credits, so no sender can put more traffic in
+flight toward an endpoint than the receiver has agreed to absorb.
+
+The model here:
+
+* every endpoint (a UMC channel, a CXL device, a PCIe endpoint) owns a
+  credit budget sized to its bandwidth-delay product — the endpoint's
+  service rate times the platform's worst-case unloaded round trip to it,
+  both derived from the platform calibration (per-hop latencies, per-link
+  rates), scaled by a configurable ``rtt_factor``;
+* the budget is partitioned among the active flows (equal split, optionally
+  skewed by a QoS credit scale), so a hog's in-flight occupancy at the
+  endpoint is bounded by its share rather than by its issue capability;
+* a sender must hold one credit per outstanding cacheline toward the
+  endpoint; credits return home on completion (conservation is an
+  invariant, tested).
+
+:class:`CreditScheduler` is the DES realization — per-(endpoint, flow)
+:class:`~repro.noc.flowcontrol.TokenPool` objects, created lazily inside
+one simulation environment. The fluid-mode counterpart is the rate cap
+:func:`credit_rate_gbps`: a window of ``c`` credits over a round trip
+``rtt`` sustains at most ``c × CACHELINE / rtt`` — the classic window/RTT
+throughput bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.noc.flowcontrol import TokenPool
+from repro.platform.topology import Platform
+from repro.sim.engine import Environment
+from repro.units import CACHELINE
+
+__all__ = [
+    "CreditConfig",
+    "endpoint_rtt_ns",
+    "endpoint_rate_gbps",
+    "credit_budget",
+    "credit_rate_gbps",
+    "credit_share",
+    "CreditScheduler",
+]
+
+
+@dataclass(frozen=True)
+class CreditConfig:
+    """Tunables of the receiver-driven credit machinery.
+
+    ``rtt_factor`` scales the bandwidth-delay-product window: 1.0 is the
+    bare BDP (full throughput only at exactly the unloaded latency). The
+    default 1.5 adds half an RTT of headroom — enough that a paced flow
+    within its fair share is never credit-starved, while an aggressive
+    sender's in-flight occupancy stays tightly bounded.
+    ``min_credits_per_flow`` keeps every sender able to make progress no
+    matter how many flows share an endpoint.
+    """
+
+    rtt_factor: float = 1.5
+    min_credits_per_flow: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rtt_factor <= 0:
+            raise ConfigurationError(
+                f"rtt_factor must be positive, got {self.rtt_factor}"
+            )
+        if self.min_credits_per_flow < 1:
+            raise ConfigurationError(
+                f"min_credits_per_flow must be >= 1, got "
+                f"{self.min_credits_per_flow}"
+            )
+
+
+def _endpoint(platform: Platform, name: str) -> Tuple[str, int]:
+    """Split an endpoint name ("umc3", "cxldev0", "pciedev0") into kind+id."""
+    for kind in ("umc", "cxldev", "pciedev"):
+        if name.startswith(kind) and name[len(kind):].isdigit():
+            index = int(name[len(kind):])
+            registry = {
+                "umc": platform.umcs,
+                "cxldev": platform.cxl_devices,
+                "pciedev": platform.pcie_devices,
+            }[kind]
+            if index not in registry:
+                raise TopologyError(
+                    f"{platform.name} has no endpoint {name!r}"
+                )
+            return kind, index
+    raise TopologyError(
+        f"{name!r} is not a creditable endpoint (expected umcN, cxldevN, "
+        "or pciedevN)"
+    )
+
+
+def endpoint_rtt_ns(platform: Platform, endpoint: str) -> float:
+    """Worst-case unloaded round trip (ns) any core sees to ``endpoint``.
+
+    The platform's calibrated load-to-use latencies already cover the full
+    request/response loop, so the RTT is the *maximum over source chiplets*
+    of the analytic unloaded latency — the receiver must provision its
+    credit loop for the farthest sender.
+    """
+    kind, index = _endpoint(platform, endpoint)
+    ccd_ids = sorted(platform.ccds)
+    if kind == "umc":
+        return max(
+            platform.dram_latency_ns(ccd_id, index) for ccd_id in ccd_ids
+        )
+    if kind == "cxldev":
+        return max(
+            platform.cxl_latency_ns(ccd_id, index) for ccd_id in ccd_ids
+        )
+    return max(
+        platform.mmio_read_latency_ns(ccd_id, index) for ccd_id in ccd_ids
+    )
+
+
+def endpoint_rate_gbps(
+    platform: Platform, endpoint: str, is_write: bool = False
+) -> float:
+    """Calibrated service rate (GB/s) of one endpoint's direction."""
+    kind, __ = _endpoint(platform, endpoint)
+    bw = platform.spec.bandwidth
+    if kind == "umc":
+        return bw.umc_write_gbps if is_write else bw.umc_read_gbps
+    if kind == "cxldev":
+        rate = bw.cxl_dev_write_gbps if is_write else bw.cxl_dev_read_gbps
+        if rate is None:
+            raise TopologyError(
+                f"{platform.name} has no CXL bandwidth calibration"
+            )
+        return rate
+    return bw.p_link_write_gbps if is_write else bw.p_link_read_gbps
+
+
+def credit_budget(
+    platform: Platform,
+    endpoint: str,
+    config: CreditConfig = CreditConfig(),
+    is_write: bool = False,
+) -> int:
+    """The endpoint's total credit budget, in cacheline-sized credits.
+
+    BDP sizing: ``rate × RTT`` bytes keep the endpoint's service pipe full;
+    ``rtt_factor`` adds the configured headroom. Never below one credit per
+    flow's minimum (enforced at partition time).
+    """
+    rtt = endpoint_rtt_ns(platform, endpoint)
+    rate = endpoint_rate_gbps(platform, endpoint, is_write=is_write)
+    return max(1, math.ceil(rate * rtt * config.rtt_factor / CACHELINE))
+
+
+def credit_rate_gbps(
+    platform: Platform,
+    endpoint: str,
+    credits: int,
+    config: CreditConfig = CreditConfig(),
+) -> float:
+    """Fluid-mode throughput bound of a ``credits``-deep window: c·L/RTT."""
+    if credits < 1:
+        raise ConfigurationError(f"credits must be >= 1, got {credits}")
+    return credits * CACHELINE / endpoint_rtt_ns(platform, endpoint)
+
+
+def credit_share(
+    platform: Platform,
+    endpoint: str,
+    flows: Sequence[str],
+    flow: str,
+    config: CreditConfig = CreditConfig(),
+    credit_scales: Dict[str, float] | None = None,
+    is_write: bool = False,
+) -> int:
+    """The credit count ``flow`` holds at ``endpoint``.
+
+    The receiver splits its budget over the active flows in proportion to
+    each flow's credit scale (QoS classes skew the split), floored at the
+    configured per-flow minimum. Backend-independent: the DES sizes its
+    token pools with it, the fluid backend turns it into a rate cap via
+    :func:`credit_rate_gbps`.
+    """
+    if not flows:
+        raise ConfigurationError("credit split needs at least one flow")
+    if flow not in flows:
+        raise ConfigurationError(f"unregistered flow {flow!r}")
+    scales = {
+        name: (credit_scales or {}).get(name, 1.0) for name in flows
+    }
+    for name, scale in scales.items():
+        if scale <= 0:
+            raise ConfigurationError(
+                f"flow {name!r}: credit scale must be positive, got {scale}"
+            )
+    budget = credit_budget(platform, endpoint, config, is_write=is_write)
+    return max(
+        config.min_credits_per_flow,
+        int(budget * scales[flow] / sum(scales.values())),
+    )
+
+
+class CreditScheduler:
+    """Per-(endpoint, flow) credit pools inside one DES environment.
+
+    The receiver's budget is split across the registered flows in
+    proportion to each flow's credit scale (QoS classes shrink or grow a
+    sender's share), floored at ``min_credits_per_flow``. Pools are
+    created lazily — an endpoint nobody sends to costs nothing — and
+    :meth:`assert_credits_home` checks conservation after a run: every
+    credit granted must have been returned.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        platform: Platform,
+        flows: Sequence[str],
+        config: CreditConfig = CreditConfig(),
+        credit_scales: Dict[str, float] | None = None,
+    ) -> None:
+        if not flows:
+            raise ConfigurationError("credit scheduler needs at least one flow")
+        if len(set(flows)) != len(flows):
+            raise ConfigurationError(f"duplicate flow names in {list(flows)}")
+        self.env = env
+        self.platform = platform
+        self.flows = list(flows)
+        self.config = config
+        self.credit_scales = dict(credit_scales or {})
+        for name, scale in self.credit_scales.items():
+            if name not in self.flows:
+                raise ConfigurationError(
+                    f"credit scale for unregistered flow {name!r}"
+                )
+            if scale <= 0:
+                raise ConfigurationError(
+                    f"flow {name!r}: credit scale must be positive, got {scale}"
+                )
+        self._pools: Dict[Tuple[str, str], TokenPool] = {}
+
+    def share(self, endpoint: str, flow: str, is_write: bool = False) -> int:
+        """The credit count ``flow`` holds at ``endpoint``."""
+        return credit_share(
+            self.platform, endpoint, self.flows, flow,
+            config=self.config, credit_scales=self.credit_scales,
+            is_write=is_write,
+        )
+
+    def pool(self, endpoint: str, flow: str) -> TokenPool:
+        """The (lazily created) credit pool for one (endpoint, flow) pair."""
+        key = (endpoint, flow)
+        existing = self._pools.get(key)
+        if existing is None:
+            existing = TokenPool(
+                self.env,
+                self.share(endpoint, flow),
+                name=f"credits/{endpoint}/{flow}",
+            )
+            self._pools[key] = existing
+        return existing
+
+    @property
+    def pools(self) -> Dict[Tuple[str, str], TokenPool]:
+        return dict(self._pools)
+
+    def assert_credits_home(self) -> None:
+        """Conservation invariant: at quiescence every credit is back home."""
+        for (endpoint, flow), pool in self._pools.items():
+            if pool.available != pool.capacity:
+                raise ConfigurationError(
+                    f"credit leak at {endpoint}/{flow}: "
+                    f"{pool.capacity - pool.available} of {pool.capacity} "
+                    "credits never returned"
+                )

@@ -1,0 +1,175 @@
+"""Telemetry-driven multipath selection over heterogeneous links.
+
+The fabric's paths are heterogeneous by construction (§3.3: per-UMC channels
+at ~21 GB/s behind a ~33 GB/s GMI port behind a ~107 GB/s NoC), so where a
+flow's cachelines land matters. The BIOS interleave (NPS modes) picks target
+sets statically; this module picks them from *live* telemetry — the
+:class:`~repro.telemetry.counters.CounterRegistry` utilization of each
+candidate endpoint — so a flow steers around whatever the rest of the
+server is currently hammering.
+
+Two decisions are exposed:
+
+* :meth:`MultipathSelector.rank_umcs` — which endpoints to use (least
+  utilized first, unloaded latency as the tie-break, id as the final
+  deterministic tie-break);
+* :meth:`MultipathSelector.split_weights` — how to spread a striped flow
+  over a chosen set (proportional to each endpoint's *residual* capacity,
+  falling back to an equal split when telemetry shows no contrast).
+
+Both backends can feed the registry: the DES records real per-link byte
+counts, and :meth:`MultipathSelector.observe_fluid` converts a fluid
+solve's channel utilizations into equivalent counters over the selector's
+sampling window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import StreamSpec
+from repro.errors import ConfigurationError, TopologyError
+from repro.fluid.solver import Policy
+from repro.platform.interconnect import LinkSpec
+from repro.platform.topology import Platform
+from repro.telemetry.counters import CounterRegistry
+
+__all__ = ["link_for_channel", "MultipathSelector"]
+
+_EPS = 1e-9
+
+
+def link_for_channel(platform: Platform, channel: str) -> Optional[LinkSpec]:
+    """The platform link a FabricModel channel name loads, or None.
+
+    CCX token-pool channels (``ccx*``) are chiplet-internal structures with
+    no link to account against; everything else maps onto the platform's
+    link registry (``gmi0:r`` → ``gmi/ccd0``, ``plink1:w`` → ``plink/rc1``,
+    ``umc3:r`` → ``umc3``, …).
+    """
+    base, sep, direction = channel.partition(":")
+    if not sep or direction not in ("r", "w"):
+        raise TopologyError(
+            f"malformed channel name {channel!r} (expected e.g. 'umc0:r')"
+        )
+    if base.startswith("ccx"):
+        return None
+    if base.startswith("gmi"):
+        return platform.link(f"gmi/ccd{base[len('gmi'):]}")
+    if base.startswith("hub"):
+        return platform.link(f"hubport/ccd{base[len('hub'):]}")
+    if base.startswith("plink"):
+        return platform.link(f"plink/rc{base[len('plink'):]}")
+    return platform.link(base)
+
+
+class MultipathSelector:
+    """Ranks and weights endpoint sets from live link telemetry."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        registry: Optional[CounterRegistry] = None,
+        window_ns: float = 1.0e6,
+    ) -> None:
+        if window_ns <= 0:
+            raise ConfigurationError(
+                f"sampling window must be positive, got {window_ns}"
+            )
+        self.platform = platform
+        self.registry = registry if registry is not None else CounterRegistry()
+        self.window_ns = window_ns
+
+    # -------------------------------------------------------------- telemetry
+
+    def utilization(self, link_name: str, is_write: bool = False) -> float:
+        """Observed direction utilization of one link over the window."""
+        counters = self.registry.get(link_name)
+        if counters is None:
+            return 0.0
+        return counters.utilization(is_write, self.window_ns)
+
+    def observe(
+        self, link_name: str, size_bytes: int, is_write: bool = False
+    ) -> None:
+        """Account one transfer against a link (DES-side feed)."""
+        self.registry.record(
+            self.platform.link(link_name), size_bytes, is_write
+        )
+
+    def observe_fluid(
+        self,
+        fabric: FabricModel,
+        specs: Sequence[StreamSpec],
+        policy: Policy = Policy.DEMAND_PROPORTIONAL,
+        umc_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Feed the registry from a fluid solve's channel utilizations.
+
+        Each channel's utilization over the sampling window becomes an
+        equivalent byte count on the underlying link, so the selector sees
+        the same load picture either backend produces.
+        """
+        utilizations = fabric.utilizations(specs, policy, umc_ids=umc_ids)
+        for channel, utilization in utilizations.items():
+            link = link_for_channel(self.platform, channel)
+            if link is None:
+                continue
+            is_write = channel.endswith(":w")
+            rate = utilization * link.capacity(is_write)
+            size = int(rate * self.window_ns)
+            if size > 0:
+                self.registry.record(link, size, is_write)
+
+    # -------------------------------------------------------------- decisions
+
+    def rank_umcs(
+        self, ccd_id: int, is_write: bool = False
+    ) -> List[int]:
+        """All UMC ids, best first: least utilized, then lowest latency."""
+        def key(umc_id: int):
+            return (
+                round(self.utilization(f"umc{umc_id}", is_write), 6),
+                self.platform.dram_latency_ns(ccd_id, umc_id),
+                umc_id,
+            )
+
+        return sorted(self.platform.umcs, key=key)
+
+    def pick_umcs(
+        self, ccd_id: int, count: int, is_write: bool = False
+    ) -> List[int]:
+        """The ``count`` best endpoints for a chiplet, in id order.
+
+        Id order keeps the chosen *set* canonical (the ranking decides
+        membership; striping inside the set is weighted separately).
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        ranked = self.rank_umcs(ccd_id, is_write)
+        return sorted(ranked[: min(count, len(ranked))])
+
+    def split_weights(
+        self, umc_ids: Sequence[int], is_write: bool = False
+    ) -> Dict[int, float]:
+        """Striping weights over a UMC set, ∝ residual capacity (sum 1.0)."""
+        if not umc_ids:
+            raise ConfigurationError("cannot split over an empty UMC set")
+        for umc_id in umc_ids:
+            if umc_id not in self.platform.umcs:
+                raise TopologyError(
+                    f"{self.platform.name} has no UMC {umc_id}"
+                )
+        residual = {}
+        for umc_id in umc_ids:
+            link = self.platform.link(f"umc{umc_id}")
+            headroom = 1.0 - self.utilization(f"umc{umc_id}", is_write)
+            residual[umc_id] = link.capacity(is_write) * max(0.0, headroom)
+        total = sum(residual.values())
+        if total <= _EPS:
+            # Every candidate saturated (or no telemetry contrast): stripe
+            # evenly rather than dividing by ~zero.
+            share = 1.0 / len(umc_ids)
+            return {umc_id: share for umc_id in umc_ids}
+        return {umc_id: value / total for umc_id, value in residual.items()}

@@ -20,6 +20,7 @@ class TestParser:
             "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
             "suite", "os-scaling", "accel", "chaos", "devtree", "io-relay",
             "collective", "noc-routing", "core-to-core", "patterns",
+            "netstack",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -153,6 +154,21 @@ class TestChaos:
             f"{result.stats.p999:.1f}",
         ]
         assert cells == expected
+
+
+class TestNetstack:
+    def test_single_arm_renders_both_backends(self, capsys):
+        assert main([
+            "netstack", "--platform", "7302", "--arm", "off",
+            "--transactions", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Netstack" in out
+        assert "fluid" in out and "des" in out
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["netstack", "--arm", "turbo"])
 
 
 class TestCsvExport:

@@ -5,7 +5,7 @@ import pytest
 from repro.core.fabric import FabricModel
 from repro.core.flows import Scope, StreamSpec
 from repro.errors import ConfigurationError
-from repro.fluid.solver import Policy
+from repro.fluid.solver import Channel, Policy
 from repro.manager.manager import ManagedAllocation, TrafficManager
 from repro.manager.ratelimit import TokenBucket
 from repro.transport.message import OpKind
@@ -84,6 +84,20 @@ class TestManagedAllocation:
         alloc = ManagedAllocation({"a": 0.0, "b": 0.0}, Policy.MAX_MIN)
         assert alloc.jain_fairness() == 1.0
 
+    def test_jain_single_flow_is_perfect(self):
+        alloc = ManagedAllocation({"only": 7.0}, Policy.MAX_MIN)
+        assert alloc.jain_fairness() == pytest.approx(1.0)
+
+
+class TestChannelEdges:
+    def test_zero_capacity_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel("dead", 0.0)
+
+    def test_negative_capacity_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Channel("dead", -1.0)
+
 
 class TestTrafficManager:
     def _manager(self, platform):
@@ -110,6 +124,15 @@ class TestTrafficManager:
     def test_allocate_without_streams_rejected(self, p7302):
         with pytest.raises(ConfigurationError):
             self._manager(p7302).allocate()
+
+    def test_empty_registry_rejected_downstream_too(self, p7302):
+        # shaped_streams/limiters allocate implicitly; an empty registry
+        # must fail there just as loudly as in allocate() itself.
+        manager = self._manager(p7302)
+        with pytest.raises(ConfigurationError):
+            manager.shaped_streams()
+        with pytest.raises(ConfigurationError):
+            manager.limiters()
 
     def test_fair_allocation_equalizes_contenders(self, p7302):
         manager = self._manager(p7302)

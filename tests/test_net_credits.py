@@ -1,0 +1,173 @@
+"""Tests for receiver-driven credit control (repro.net.credits)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError, TopologyError
+from repro.net.credits import (
+    CreditConfig,
+    CreditScheduler,
+    credit_budget,
+    credit_rate_gbps,
+    credit_share,
+    endpoint_rate_gbps,
+    endpoint_rtt_ns,
+)
+from repro.sim.engine import Environment
+from repro.units import CACHELINE
+
+
+class TestCreditConfig:
+    def test_defaults_valid(self):
+        config = CreditConfig()
+        assert config.rtt_factor > 0
+        assert config.min_credits_per_flow >= 1
+
+    def test_rtt_factor_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CreditConfig(rtt_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            CreditConfig(rtt_factor=-1.0)
+
+    def test_min_credits_must_be_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            CreditConfig(min_credits_per_flow=0)
+
+
+class TestEndpointCalibration:
+    def test_umc_rtt_is_worst_case_over_chiplets(self, platform):
+        expected = max(
+            platform.dram_latency_ns(ccd_id, 0)
+            for ccd_id in sorted(platform.ccds)
+        )
+        assert endpoint_rtt_ns(platform, "umc0") == pytest.approx(expected)
+
+    def test_unknown_endpoint_rejected(self, p7302):
+        with pytest.raises(TopologyError):
+            endpoint_rtt_ns(p7302, "umc99")
+
+    def test_malformed_endpoint_rejected(self, p7302):
+        with pytest.raises(TopologyError):
+            endpoint_rtt_ns(p7302, "gpu0")
+        with pytest.raises(TopologyError):
+            endpoint_rtt_ns(p7302, "umc")
+
+    def test_umc_rates_follow_calibration(self, p7302):
+        bw = p7302.spec.bandwidth
+        assert endpoint_rate_gbps(p7302, "umc0") == bw.umc_read_gbps
+        assert (
+            endpoint_rate_gbps(p7302, "umc0", is_write=True)
+            == bw.umc_write_gbps
+        )
+
+
+class TestBudgetAndRate:
+    def test_budget_is_bdp_in_cachelines(self, p7302):
+        config = CreditConfig(rtt_factor=1.0)
+        rtt = endpoint_rtt_ns(p7302, "umc0")
+        rate = endpoint_rate_gbps(p7302, "umc0")
+        expected = max(1, math.ceil(rate * rtt / CACHELINE))
+        assert credit_budget(p7302, "umc0", config) == expected
+
+    def test_budget_scales_with_rtt_factor(self, p7302):
+        small = credit_budget(p7302, "umc0", CreditConfig(rtt_factor=1.0))
+        large = credit_budget(p7302, "umc0", CreditConfig(rtt_factor=2.0))
+        assert large > small
+
+    def test_rate_is_window_over_rtt(self, p7302):
+        rtt = endpoint_rtt_ns(p7302, "umc0")
+        assert credit_rate_gbps(p7302, "umc0", 10) == pytest.approx(
+            10 * CACHELINE / rtt
+        )
+
+    def test_rate_requires_positive_credits(self, p7302):
+        with pytest.raises(ConfigurationError):
+            credit_rate_gbps(p7302, "umc0", 0)
+
+
+class TestCreditShare:
+    def test_equal_split_between_flows(self, p7302):
+        config = CreditConfig()
+        budget = credit_budget(p7302, "umc0", config)
+        share = credit_share(p7302, "umc0", ["a", "b"], "a", config)
+        assert share == max(config.min_credits_per_flow, budget // 2)
+
+    def test_scales_skew_the_split(self, p7302):
+        config = CreditConfig()
+        scales = {"lat": 1.0, "bulk": 0.5}
+        flows = ["lat", "bulk"]
+        lat = credit_share(
+            p7302, "umc0", flows, "lat", config, credit_scales=scales
+        )
+        bulk = credit_share(
+            p7302, "umc0", flows, "bulk", config, credit_scales=scales
+        )
+        assert lat > bulk
+
+    def test_minimum_floor_applies(self, p7302):
+        # Enough flows that an equal split would round to zero credits.
+        config = CreditConfig(min_credits_per_flow=2)
+        budget = credit_budget(p7302, "umc0", config)
+        flows = [f"f{i}" for i in range(budget + 1)]
+        share = credit_share(p7302, "umc0", flows, "f0", config)
+        assert share == 2
+
+    def test_empty_flow_set_rejected(self, p7302):
+        with pytest.raises(ConfigurationError):
+            credit_share(p7302, "umc0", [], "a")
+
+    def test_unregistered_flow_rejected(self, p7302):
+        with pytest.raises(ConfigurationError):
+            credit_share(p7302, "umc0", ["a"], "ghost")
+
+    def test_nonpositive_scale_rejected(self, p7302):
+        with pytest.raises(ConfigurationError):
+            credit_share(
+                p7302, "umc0", ["a", "b"], "a", credit_scales={"b": 0.0}
+            )
+
+
+class TestCreditScheduler:
+    def _scheduler(self, platform, flows=("a", "b"), scales=None):
+        return CreditScheduler(
+            Environment(), platform, list(flows), credit_scales=scales
+        )
+
+    def test_needs_flows(self, p7302):
+        with pytest.raises(ConfigurationError):
+            self._scheduler(p7302, flows=())
+
+    def test_duplicate_flows_rejected(self, p7302):
+        with pytest.raises(ConfigurationError):
+            self._scheduler(p7302, flows=("a", "a"))
+
+    def test_scale_for_unregistered_flow_rejected(self, p7302):
+        with pytest.raises(ConfigurationError):
+            self._scheduler(p7302, scales={"ghost": 1.0})
+
+    def test_pool_is_lazy_and_cached(self, p7302):
+        scheduler = self._scheduler(p7302)
+        assert scheduler.pools == {}
+        pool = scheduler.pool("umc0", "a")
+        assert scheduler.pool("umc0", "a") is pool
+        assert pool.capacity == scheduler.share("umc0", "a")
+        assert set(scheduler.pools) == {("umc0", "a")}
+
+    def test_credits_conserved_invariant(self, p7302):
+        # The conservation invariant: a held credit is a leak at quiescence;
+        # returning it restores the all-home state.
+        scheduler = self._scheduler(p7302)
+        pool = scheduler.pool("umc0", "a")
+        scheduler.assert_credits_home()
+        pool.acquire()
+        with pytest.raises(ConfigurationError):
+            scheduler.assert_credits_home()
+        pool.release()
+        scheduler.assert_credits_home()
+
+    def test_over_release_rejected(self, p7302):
+        scheduler = self._scheduler(p7302)
+        pool = scheduler.pool("umc0", "a")
+        with pytest.raises(SimulationError):
+            pool.release()

@@ -1,0 +1,118 @@
+"""Tests for telemetry-driven multipath selection (repro.net.multipath)."""
+
+import pytest
+
+from repro.core.fabric import FabricModel
+from repro.core.flows import StreamSpec
+from repro.errors import ConfigurationError, TopologyError
+from repro.net.multipath import MultipathSelector, link_for_channel
+from repro.transport.message import OpKind
+
+
+class TestLinkForChannel:
+    def test_umc_channel_maps_to_umc_link(self, p7302):
+        assert link_for_channel(p7302, "umc0:r") is p7302.link("umc0")
+
+    def test_gmi_channel_maps_to_ccd_port(self, p7302):
+        assert link_for_channel(p7302, "gmi0:r") is p7302.link("gmi/ccd0")
+
+    def test_hub_channel_maps_to_hub_port(self, p9634):
+        assert (
+            link_for_channel(p9634, "hub0:w") is p9634.link("hubport/ccd0")
+        )
+
+    def test_plink_channel_maps_to_root_complex(self, p7302):
+        assert (
+            link_for_channel(p7302, "plink0:r") is p7302.link("plink/rc0")
+        )
+
+    def test_noc_channel_maps_to_noc(self, p7302):
+        assert link_for_channel(p7302, "noc:r") is p7302.link("noc")
+
+    def test_ccx_channel_has_no_link(self, p7302):
+        assert link_for_channel(p7302, "ccx0:r") is None
+
+    def test_malformed_channel_rejected(self, p7302):
+        with pytest.raises(TopologyError):
+            link_for_channel(p7302, "umc0")
+        with pytest.raises(TopologyError):
+            link_for_channel(p7302, "umc0:x")
+
+
+class TestMultipathSelector:
+    def test_window_must_be_positive(self, p7302):
+        with pytest.raises(ConfigurationError):
+            MultipathSelector(p7302, window_ns=0.0)
+
+    def test_no_telemetry_means_idle(self, p7302):
+        selector = MultipathSelector(p7302)
+        assert selector.utilization("umc0") == 0.0
+
+    def test_rank_prefers_low_latency_when_idle(self, p7302):
+        # With no telemetry contrast the ranking is by unloaded latency:
+        # a chiplet's NEAR UMCs come before its FAR ones.
+        selector = MultipathSelector(p7302)
+        ranked = selector.rank_umcs(0)
+        near = FabricModel(p7302).default_umc_ids(
+            StreamSpec("s", OpKind.READ, (0,))
+        )
+        assert set(ranked) == set(p7302.umcs)
+        assert ranked[0] in near
+
+    def test_hot_endpoint_drops_in_ranking(self, p7302):
+        selector = MultipathSelector(p7302, window_ns=1.0e3)
+        best = selector.rank_umcs(0)[0]
+        link = p7302.link(f"umc{best}")
+        # Saturate the previously best endpoint over the sampling window.
+        selector.observe(f"umc{best}", int(link.read_gbps * 1.0e3))
+        assert selector.rank_umcs(0)[0] != best
+        assert selector.rank_umcs(0)[-1] == best
+
+    def test_pick_returns_best_count_in_id_order(self, p7302):
+        selector = MultipathSelector(p7302)
+        picked = selector.pick_umcs(0, 2)
+        assert picked == sorted(picked)
+        assert len(picked) == 2
+        with pytest.raises(ConfigurationError):
+            selector.pick_umcs(0, 0)
+
+    def test_split_weights_sum_to_one(self, p7302):
+        selector = MultipathSelector(p7302)
+        weights = selector.split_weights([0, 4])
+        assert sum(weights.values()) == pytest.approx(1.0)
+        # Identical idle endpoints stripe evenly.
+        assert weights[0] == pytest.approx(weights[4])
+
+    def test_split_shifts_toward_residual_capacity(self, p7302):
+        selector = MultipathSelector(p7302, window_ns=1.0e3)
+        link = p7302.link("umc0")
+        selector.observe("umc0", int(link.read_gbps * 1.0e3 * 0.5))
+        weights = selector.split_weights([0, 4])
+        assert weights[4] > weights[0]
+
+    def test_all_saturated_falls_back_to_equal_split(self, p7302):
+        selector = MultipathSelector(p7302, window_ns=1.0e3)
+        for umc_id in (0, 4):
+            link = p7302.link(f"umc{umc_id}")
+            selector.observe(f"umc{umc_id}", int(link.read_gbps * 2.0e3))
+        weights = selector.split_weights([0, 4])
+        assert weights == {0: 0.5, 4: 0.5}
+
+    def test_unknown_umc_rejected(self, p7302):
+        selector = MultipathSelector(p7302)
+        with pytest.raises(TopologyError):
+            selector.split_weights([999])
+        with pytest.raises(ConfigurationError):
+            selector.split_weights([])
+
+    def test_observe_fluid_feeds_registry(self, p7302):
+        selector = MultipathSelector(p7302)
+        fabric = FabricModel(p7302)
+        spec = StreamSpec("s", OpKind.READ, (0,), demand_gbps=16.0)
+        selector.observe_fluid(fabric, [spec])
+        loaded = [
+            umc_id
+            for umc_id in p7302.umcs
+            if selector.utilization(f"umc{umc_id}") > 0.0
+        ]
+        assert loaded
