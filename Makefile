@@ -9,14 +9,19 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench lint verify chaos-smoke
+.PHONY: test bench bench-check lint verify chaos-smoke
 
 test:
 	$(PYTEST) -x -q
 
 bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
-		benchmarks/bench_netstack.py -q
+		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py -q
+
+# Append fresh samples to BENCH_results.json, then fail if any tracked
+# bench got >25% slower than its previous sample (2ms jitter floor).
+bench-check: bench
+	$(PYTHON) benchmarks/check_bench.py
 
 # Static checks. Guarded: the lint gate is CI's job (ruff is installed
 # there); a container without ruff skips it instead of failing.

@@ -1,0 +1,87 @@
+"""Vectorized-backend and result-cache benchmarks: the PR's two payoffs.
+
+Two acceptance bars, both recorded in ``BENCH_results.json``:
+
+* the NumPy fluid backend runs a real Figure 5 sweep at least 3x faster
+  than the pure-Python reference, with bit-identical traces;
+* a content-addressed cache hit makes an immediate re-run of a real sweep
+  (netstack, both backends' cells) at least 10x faster, with identical
+  rendered output.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fluid_cache.py -q
+"""
+
+import time
+
+from repro.cache import ResultCache
+from repro.experiments import fig5, netstack
+from repro.fluid.solver import BACKEND_ENV_VAR
+
+#: Acceptance floors (the measured ratios are far above both).
+MIN_BACKEND_SPEEDUP = 3.0
+MIN_CACHE_SPEEDUP = 10.0
+
+#: DES transaction count for the cached-sweep bench: big enough that the
+#: cold run dwarfs cache bookkeeping, small enough for a short bench.
+_TRANSACTIONS = 200
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return time.perf_counter() - start, value
+
+
+def bench_fig5_vectorized_speedup(p9634, record_timing, monkeypatch):
+    """Figure 5 (9634 IF): reference backend vs NumPy fast path."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+    reference_s, reference = _timed(fig5.run, p9634, "if")
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+    fast_s, fast = _timed(fig5.run, p9634, "if")
+
+    # Same sweep, bit-identical traces — the backends may only differ in
+    # wall clock, never in output.
+    assert set(fast.traces) == set(reference.traces)
+    for name, trace in reference.traces.items():
+        assert fast.traces[name].times_s == trace.times_s
+        assert fast.traces[name].achieved_gbps == trace.achieved_gbps
+    assert fast.harvest_delay_s == reference.harvest_delay_s
+
+    speedup = reference_s / fast_s
+    record_timing("fig5_fluid_reference", reference_s, backend="python")
+    record_timing(
+        "fig5_fluid_vectorized", fast_s, backend="numpy", speedup=speedup
+    )
+    assert speedup >= MIN_BACKEND_SPEEDUP, speedup
+
+
+def bench_netstack_cached_rerun(p7302, record_timing, tmp_path, monkeypatch):
+    """The full netstack sweep: cold solve vs immediate cached re-run."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    cache = ResultCache(tmp_path / "store")
+
+    def sweep():
+        return netstack.run(
+            p7302, jobs=1, transactions_per_core=_TRANSACTIONS, cache=cache,
+        )
+
+    cold_s, cold = _timed(sweep)
+    warm_s, warm = _timed(sweep)
+
+    assert all(result.ok for result in cold)
+    assert not any(result.cached for result in cold)
+    assert all(result.cached for result in warm)
+    assert netstack.render(p7302.name, warm) == netstack.render(
+        p7302.name, cold
+    )
+
+    speedup = cold_s / warm_s
+    record_timing(
+        "netstack_sweep_cold", cold_s, transactions_per_core=_TRANSACTIONS
+    )
+    record_timing(
+        "netstack_sweep_cached", warm_s, cache_speedup=speedup
+    )
+    assert speedup >= MIN_CACHE_SPEEDUP, speedup

@@ -75,7 +75,8 @@ def bench_runner_cells_pool(benchmark, p7302, record_timing):
 
     On a single-CPU container this is *slower* than serial — the point is
     to track the fixed fan-out cost, and to assert the pool path returns
-    the same results as the in-process path.
+    the same results as the in-process path. ``pool_threshold_s=0``
+    disables the adaptive serial ramp so the pool really is measured.
     """
     from repro.experiments import fig4, table3
     from repro.runner import Cell, run_cells
@@ -87,7 +88,7 @@ def bench_runner_cells_pool(benchmark, p7302, record_timing):
     serial = run_cells(cells, jobs=1)
 
     def run():
-        return run_cells(cells, jobs=2)
+        return run_cells(cells, jobs=2, pool_threshold_s=0)
 
     pooled = benchmark.pedantic(run, rounds=1, iterations=1)
     assert (
@@ -98,6 +99,32 @@ def bench_runner_cells_pool(benchmark, p7302, record_timing):
     best = benchmark.stats.stats.min
     record_timing("runner_cells_pool", best, cells=len(cells), jobs=2)
     assert best < RUNNER_CEILING_S
+
+
+def _tiny_cell(x):
+    return x * x
+
+
+def bench_runner_ramp_tiny_cells(benchmark, record_timing):
+    """Cheap cells with jobs>1: the adaptive serial ramp skips the pool.
+
+    This was a ~19x regression before the ramp — two sub-millisecond
+    cells paid a full process-pool spawn. Now ``jobs=2`` on a cheap batch
+    must cost about what ``jobs=1`` does.
+    """
+    from repro.runner import Cell, run_cells
+
+    cells = [Cell(_tiny_cell, (x,)) for x in range(2)]
+
+    def run():
+        return run_cells(cells, jobs=2)
+
+    results = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert results == [0, 1]
+    best = benchmark.stats.stats.min
+    record_timing("runner_cells_ramp_tiny", best, cells=len(cells), jobs=2)
+    # Far under any pool spawn time: the ramp kept these in-process.
+    assert best < 0.05
 
 
 def bench_suite_synthetic(benchmark, record_timing):

@@ -1,0 +1,104 @@
+"""Bench regression gate: compare the newest timing of each tracked bench
+against its previous entry in ``BENCH_results.json``.
+
+``make bench-check`` runs the bench suite (appending fresh samples to the
+trajectory) and then this script. A bench *regresses* when its newest
+sample is more than ``--tolerance`` (default 25%) slower than the previous
+sample for the same name AND the slowdown exceeds ``--floor`` seconds —
+the absolute floor keeps microsecond-scale benches from tripping the gate
+on scheduler jitter.
+
+Exit status: 0 (no regressions, or nothing to compare), 1 (regression).
+
+Run with::
+
+    python benchmarks/check_bench.py [--results PATH] [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def load_history(path: Path):
+    try:
+        history = json.loads(path.read_text())
+    except (FileNotFoundError, ValueError):
+        return []
+    return history if isinstance(history, list) else []
+
+
+def compare(history, tolerance: float, floor_s: float):
+    """(rows, regressions): newest vs previous sample per bench name."""
+    by_name = {}
+    for entry in history:
+        name = entry.get("bench")
+        seconds = entry.get("seconds")
+        if not isinstance(name, str) or not isinstance(seconds, (int, float)):
+            continue
+        by_name.setdefault(name, []).append(float(seconds))
+    rows = []
+    regressions = []
+    for name in sorted(by_name):
+        samples = by_name[name]
+        if len(samples) < 2:
+            rows.append((name, None, samples[-1], None, "new"))
+            continue
+        previous, newest = samples[-2], samples[-1]
+        ratio = newest / previous if previous > 0 else float("inf")
+        regressed = (
+            newest > previous * (1.0 + tolerance)
+            and newest - previous > floor_s
+        )
+        status = "REGRESSED" if regressed else "ok"
+        rows.append((name, previous, newest, ratio, status))
+        if regressed:
+            regressions.append(name)
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=DEFAULT_RESULTS,
+        help="trajectory file (default: BENCH_results.json at repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional slowdown before failing (default: 0.25)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=2e-3,
+        help="ignore slowdowns smaller than this many seconds (default: 2ms)",
+    )
+    args = parser.parse_args(argv)
+
+    history = load_history(args.results)
+    if not history:
+        print(f"bench-check: no history at {args.results}, nothing to gate")
+        return 0
+    rows, regressions = compare(history, args.tolerance, args.floor)
+    width = max(len(name) for name, *_ in rows)
+    for name, previous, newest, ratio, status in rows:
+        if previous is None:
+            print(f"  {name:<{width}}  {'-':>10}  {newest:>10.6f}s  {status}")
+        else:
+            print(
+                f"  {name:<{width}}  {previous:>10.6f}s  {newest:>10.6f}s  "
+                f"x{ratio:.2f}  {status}"
+            )
+    if regressions:
+        print(
+            f"bench-check: {len(regressions)} regression(s) "
+            f">{args.tolerance:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"bench-check: OK ({len(rows)} tracked bench(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""Content-addressed on-disk cache for experiment cells.
+
+A cell is a pure function of its arguments (the runner's determinism
+contract), so its result can be keyed by *content*: the cache key is a
+SHA-256 over a canonical encoding of ``(code fingerprint, cell function,
+args, kwargs)``. The code fingerprint hashes every ``repro`` source file,
+so any edit to the package invalidates the whole store — a hit can only
+ever return what re-running the cell would have produced.
+
+Keys must be stable across processes and machines: :func:`stable_bytes`
+encodes values structurally (dataclasses by field order, dicts sorted by
+encoded key, sets sorted, floats as IEEE bytes, arrays as dtype+shape+raw
+bytes) instead of relying on ``pickle``'s representation or on hash
+randomization. Values that cannot be encoded make the cell *uncacheable*
+— never an error.
+
+The store is a directory (default ``.repro-cache/``, override with
+:data:`CACHE_DIR_ENV_VAR`) of pickle files named by key, fanned out over
+256 subdirectories. Writes go through a temp file + :func:`os.replace`, so
+concurrent ``--jobs`` workers and parallel sweeps can share one store
+without locks: a torn read is impossible, and the worst race is two
+processes computing the same value and one overwrite winning.
+
+The CLI enables a process-wide default cache (see
+:func:`set_default_cache`); plain library use stays uncached unless the
+caller passes a cache to the runner or sets :data:`CACHE_ENV_VAR`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CACHE_ENV_VAR",
+    "CacheStats",
+    "ResultCache",
+    "Uncacheable",
+    "cache_enabled_by_env",
+    "code_fingerprint",
+    "default_cache",
+    "set_default_cache",
+    "stable_bytes",
+]
+
+#: Truthy/falsy switch for the *default* cache ("0"/"off"/"false"/"no"
+#: disable it; anything else, including unset, leaves it available).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+#: Overrides the on-disk store location (default ``.repro-cache/``).
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+_DEFAULT_ROOT = ".repro-cache"
+
+_FALSY = {"0", "off", "false", "no"}
+
+
+class Uncacheable(Exception):
+    """Raised by :func:`stable_bytes` for values with no stable encoding."""
+
+
+# ------------------------------------------------------------- stable keys
+
+
+def _encode(value: Any, out: list) -> None:
+    """Append a canonical, type-tagged encoding of ``value`` to ``out``.
+
+    Deliberately *not* pickle: pickling is sensitive to memoization layout
+    and dict insertion order, and ``hash()`` is randomized per process.
+    """
+    if value is None:
+        out.append(b"N")
+    elif isinstance(value, bool):
+        out.append(b"T" if value else b"F")
+    elif isinstance(value, int):
+        text = str(value).encode()
+        out.append(b"i%d:" % len(text) + text)
+    elif isinstance(value, float):
+        out.append(b"f" + struct.pack("!d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(b"s%d:" % len(raw) + raw)
+    elif isinstance(value, bytes):
+        out.append(b"b%d:" % len(value) + value)
+    elif isinstance(value, enum.Enum):
+        _encode((type(value).__qualname__, value.name), out)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l(")
+        for item in value:
+            _encode(item, out)
+        out.append(b")")
+    elif isinstance(value, (set, frozenset)):
+        encoded = []
+        for item in value:
+            chunk: list = []
+            _encode(item, chunk)
+            encoded.append(b"".join(chunk))
+        out.append(b"e(")
+        out.extend(sorted(encoded))
+        out.append(b")")
+    elif isinstance(value, dict):
+        entries = []
+        for key, item in value.items():
+            key_chunk: list = []
+            _encode(key, key_chunk)
+            item_chunk: list = []
+            _encode(item, item_chunk)
+            entries.append((b"".join(key_chunk), b"".join(item_chunk)))
+        out.append(b"d(")
+        for key_bytes, item_bytes in sorted(entries):
+            out.append(key_bytes)
+            out.append(item_bytes)
+        out.append(b")")
+    elif hasattr(value, "__repro_cache_key__"):
+        # Non-dataclass domain objects (e.g. Platform) opt in by returning
+        # a stable surrogate that rebuilds them deterministically.
+        out.append(b"k")
+        _encode(type(value).__qualname__, out)
+        out.append(b"(")
+        _encode(value.__repro_cache_key__(), out)
+        out.append(b")")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(b"c")
+        _encode(type(value).__qualname__, out)
+        out.append(b"(")
+        for field in dataclasses.fields(value):
+            _encode(getattr(value, field.name), out)
+        out.append(b")")
+    elif callable(value) and hasattr(value, "__qualname__"):
+        module = getattr(value, "__module__", None)
+        if module is None:
+            raise Uncacheable(f"callable without a module: {value!r}")
+        _encode((module, value.__qualname__), out)
+    elif type(value).__module__ == "numpy" and hasattr(value, "tobytes"):
+        # ndarrays and numpy scalars, without importing numpy here.
+        dtype = getattr(value, "dtype", None)
+        shape = getattr(value, "shape", ())
+        out.append(b"a")
+        _encode((str(dtype), tuple(shape)), out)
+        out.append(value.tobytes())
+    else:
+        raise Uncacheable(
+            f"no stable encoding for {type(value).__qualname__}: {value!r}"
+        )
+
+
+def stable_bytes(value: Any) -> bytes:
+    """Canonical byte encoding of ``value`` (raises :class:`Uncacheable`)."""
+    out: list = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; editing any module under ``src/repro``
+    therefore shifts every cache key, which is the invalidation story —
+    there is no staleness protocol to get wrong.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        package_root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+# ------------------------------------------------------------------- store
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of one store plus this process's hit/miss counters."""
+
+    root: str
+    entries: int
+    bytes: int
+    hits: int
+    misses: int
+
+
+class ResultCache:
+    """Content-addressed pickle store under ``root``.
+
+    ``get``/``put`` never raise for storage problems (a cache must degrade
+    to "miss", not break the sweep); corrupt or unreadable entries count as
+    misses and are left for :meth:`clear`.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV_VAR) or _DEFAULT_ROOT
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(
+        self, fn: Any, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+    ) -> Optional[str]:
+        """Cache key for one cell, or None when any input is uncacheable."""
+        try:
+            payload = stable_bytes((code_fingerprint(), fn, args, kwargs))
+        except Uncacheable:
+            return None
+        return hashlib.sha256(payload).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """(hit, value) for ``key``; misses return ``(False, None)``."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except Exception:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` under ``key`` atomically; False if not storable."""
+        path = self._path(key)
+        try:
+            payload = pickle.dumps(value)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return False
+        return True
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("??/*.pkl"):
+            if not path.name.startswith(".tmp-"):
+                yield path
+
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk size, plus this process's hit/miss."""
+        entries = 0
+        size = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            bytes=size,
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# --------------------------------------------------------- process default
+
+_UNSET = object()
+_default: Any = _UNSET
+
+
+def cache_enabled_by_env() -> bool:
+    """Is the default cache allowed by :data:`CACHE_ENV_VAR`?"""
+    return os.environ.get(CACHE_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def set_default_cache(cache: Optional[ResultCache]) -> None:
+    """Install (or, with None, disable) the process-wide default cache."""
+    global _default
+    _default = cache
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The cache the runner uses when the caller does not pass one.
+
+    Explicit :func:`set_default_cache` wins; otherwise a store is built
+    iff :data:`CACHE_ENV_VAR` is set truthy (unset means no default —
+    library users opt in, the CLI opts in for them).
+    """
+    if _default is not _UNSET:
+        return _default
+    enabled = os.environ.get(CACHE_ENV_VAR, "").strip().lower()
+    if not enabled or enabled in _FALSY:
+        return None
+    return ResultCache()

@@ -27,7 +27,10 @@ __all__ = ["main", "build_parser"]
 _EPILOG = (
     "Every subcommand accepts --jobs N (or 'auto', the default; also set "
     "via REPRO_JOBS): independent experiment cells fan out over N worker "
-    "processes with byte-identical output for any value."
+    "processes with byte-identical output for any value. Cell results are "
+    "cached content-addressed under .repro-cache/ (override with "
+    "REPRO_CACHE_DIR, disable with --no-cache or REPRO_CACHE=0; manage "
+    "with `repro cache stats|clear`); cached re-runs stay byte-identical."
 )
 
 _PLATFORMS = {
@@ -122,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "worker processes for independent cells: a count or 'auto' "
                 "(default: $REPRO_JOBS, else auto); output is byte-identical "
                 "for any value"
+            ),
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help=(
+                "recompute every cell instead of reading/writing the "
+                "content-addressed result cache (.repro-cache/)"
             ),
         )
         return cmd
@@ -222,6 +233,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quality", default="quick", choices=("quick", "full"),
         help="DES sample counts: quick (~30 s) or full (minutes)",
     )
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_cmd.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entry count and size; clear: delete every entry",
+    )
+    cache_cmd.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR, else .repro-cache)",
+    )
     return parser
 
 
@@ -232,6 +254,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     redirected artifacts stay byte-identical regardless of ``--jobs``).
     """
     args = build_parser().parse_args(argv)
+    from repro.cache import ResultCache, cache_enabled_by_env, set_default_cache
+
+    if args.command == "cache":
+        cache = ResultCache(args.dir)
+        if args.action == "clear":
+            removed = cache.clear()
+            print(f"cleared {removed} cached result(s) from {cache.root}")
+        else:
+            stats = cache.stats()
+            print(f"cache: {stats.root}")
+            print(f"entries: {stats.entries}")
+            print(f"bytes: {stats.bytes}")
+        return 0
+
+    # The CLI opts into result caching (library use stays uncached unless
+    # asked); --no-cache or REPRO_CACHE=0 turns it off.
+    if args.no_cache or not cache_enabled_by_env():
+        set_default_cache(None)
+    else:
+        set_default_cache(ResultCache())
+
+    # Validate the fluid-backend switch up front: on a warm cache no cell
+    # may ever reach the solver, and a typo'd backend must not pass
+    # silently just because every result was already cached.
+    from repro.errors import ConfigurationError
+    from repro.fluid.solver import resolve_backend
+
+    try:
+        resolve_backend()
+    except ConfigurationError as error:
+        build_parser().error(str(error))
+
     jobs = getattr(args, "jobs", None)
     started = time.perf_counter()
     out: List[str] = []

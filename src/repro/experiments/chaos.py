@@ -41,7 +41,12 @@ from repro.experiments.contention import (
 )
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.platform.topology import Platform
-from repro.runner import Cell, CellResult, run_cells_detailed
+from repro.runner import (
+    Cell,
+    CellResult,
+    USE_DEFAULT_CACHE,
+    run_cells_detailed,
+)
 from repro.transport.message import OpKind
 
 __all__ = [
@@ -149,6 +154,7 @@ def run(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     fail_fast: bool = False,
+    cache=USE_DEFAULT_CACHE,
 ) -> List[CellResult]:
     """Sweep severities; one hardened-runner cell per severity.
 
@@ -166,7 +172,7 @@ def run(
     ]
     return run_cells_detailed(
         cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
-        fail_fast=fail_fast,
+        fail_fast=fail_fast, cache=cache,
     )
 
 

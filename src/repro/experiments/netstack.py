@@ -42,7 +42,12 @@ from repro.net.inject import install
 from repro.net.qos import QosClass
 from repro.net.stack import NetStackConfig, fluid_allocation
 from repro.platform.topology import Platform
-from repro.runner import Cell, CellResult, run_cells_detailed
+from repro.runner import (
+    Cell,
+    CellResult,
+    USE_DEFAULT_CACHE,
+    run_cells_detailed,
+)
 from repro.sim.engine import Environment
 from repro.transport.path import PathResolver
 from repro.transport.transaction import TransactionExecutor
@@ -214,11 +219,13 @@ def run(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     fail_fast: bool = False,
+    cache=USE_DEFAULT_CACHE,
 ) -> List[CellResult]:
     """All (arm, backend) cells through the hardened runner.
 
     Submission order is backends-major (all fluid arms, then all DES arms),
-    matching the rendered table; output is byte-identical for any --jobs.
+    matching the rendered table; output is byte-identical for any --jobs
+    and with or without a result ``cache``.
     """
     cells = [
         Cell(
@@ -231,7 +238,7 @@ def run(
     ]
     return run_cells_detailed(
         cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
-        fail_fast=fail_fast,
+        fail_fast=fail_fast, cache=cache,
     )
 
 

@@ -25,6 +25,8 @@ import enum
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import FaultInjectionError
 from repro.sim.rng import SplitRng
 
@@ -155,6 +157,10 @@ class _ChannelFactor:
     def at(self, t: float) -> float:
         return self._schedule.factor_at(self._channel, t)
 
+    def at_many(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`at` — one factor per entry of ``times``."""
+        return self._schedule.factor_curve(self._channel, times)
+
 
 class FaultSchedule:
     """An immutable, severity-scalable timeline of fault events."""
@@ -241,6 +247,21 @@ class FaultSchedule:
             if start <= t < end:
                 factor *= f
         return max(factor, _MIN_FACTOR)
+
+    def factor_curve(
+        self, channel: str, times: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized :meth:`factor_at` over a whole time array.
+
+        Applies the same sorted intervals in the same multiplication order
+        per element, so ``factor_curve(c, ts)[i] == factor_at(c, ts[i])``
+        bit-for-bit.
+        """
+        times = np.asarray(times, dtype=float)
+        factor = np.ones(times.shape)
+        for start, end, f in self._intervals.get(channel, ()):
+            factor[(times >= start) & (times < end)] *= f
+        return np.maximum(factor, _MIN_FACTOR)
 
     def derates_at(self, t: float) -> Dict[str, float]:
         """Per-channel factors at one instant, FabricModel-derate shaped.

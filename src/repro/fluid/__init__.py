@@ -19,18 +19,30 @@ from repro.fluid.adaptation import (
     InstantAdaptation,
     SecondOrderAdaptation,
 )
-from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+from repro.fluid.solver import (
+    BACKEND_ENV_VAR,
+    Channel,
+    FluidFlow,
+    Policy,
+    resolve_backend,
+    solve,
+)
 from repro.fluid.timeseries import DemandSchedule, FluidSimulator, FlowTrace
+from repro.fluid.vectorized import CompiledProblem, solve_vectorized
 
 __all__ = [
     "AdaptationModel",
     "FirstOrderAdaptation",
     "InstantAdaptation",
     "SecondOrderAdaptation",
+    "BACKEND_ENV_VAR",
     "Channel",
+    "CompiledProblem",
     "FluidFlow",
     "Policy",
+    "resolve_backend",
     "solve",
+    "solve_vectorized",
     "DemandSchedule",
     "FluidSimulator",
     "FlowTrace",

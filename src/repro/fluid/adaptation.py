@@ -20,7 +20,7 @@ loop around its steady-state allocation, so we model exactly that:
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import List, Protocol, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -36,7 +36,15 @@ _SETTLE_FACTOR = math.log(10.0)
 
 
 class AdaptationModel(Protocol):
-    """State-ful tracker of one flow's achieved rate toward a moving target."""
+    """State-ful tracker of one flow's achieved rate toward a moving target.
+
+    Models *may* additionally provide ``run_series(targets, dt_s)`` —
+    equivalent to calling :meth:`step` once per target and collecting the
+    results, but in one call. The simulator's fast path uses it when
+    present (the built-in models implement it with the identical update
+    arithmetic, so the two call styles are bit-for-bit interchangeable) and
+    falls back to per-step calls otherwise.
+    """
 
     def reset(self, value: float) -> None:
         """Initialize the tracked rate."""
@@ -59,6 +67,13 @@ class InstantAdaptation:
         """Advance dt seconds toward target; returns the rate."""
         self._value = target
         return self._value
+
+    def run_series(self, targets: Sequence[float], dt_s: float) -> List[float]:
+        """Batched :meth:`step`: the rate tracks every target exactly."""
+        targets = list(targets)
+        if targets:
+            self._value = targets[-1]
+        return targets
 
 
 class FirstOrderAdaptation:
@@ -84,6 +99,17 @@ class FirstOrderAdaptation:
         blend = 1.0 - math.exp(-dt_s / self.tau_s)
         self._value += (target - self._value) * blend
         return self._value
+
+    def run_series(self, targets: Sequence[float], dt_s: float) -> List[float]:
+        """Batched :meth:`step`, bit-identical to the per-step sequence."""
+        blend = 1.0 - math.exp(-dt_s / self.tau_s)
+        value = self._value
+        out: List[float] = []
+        for target in targets:
+            value += (target - value) * blend
+            out.append(value)
+        self._value = value
+        return out
 
 
 class SecondOrderAdaptation:
@@ -119,3 +145,16 @@ class SecondOrderAdaptation:
         self._velocity += accel * dt_s
         self._value += self._velocity * dt_s
         return max(0.0, self._value)
+
+    def run_series(self, targets: Sequence[float], dt_s: float) -> List[float]:
+        """Batched :meth:`step`, bit-identical to the per-step sequence."""
+        damping = 2.0 * self.zeta * self.omega
+        stiffness = self.omega**2
+        value, velocity = self._value, self._velocity
+        out: List[float] = []
+        for target in targets:
+            velocity += (-damping * velocity - stiffness * (value - target)) * dt_s
+            value += velocity * dt_s
+            out.append(max(0.0, value))
+        self._value, self._velocity = value, velocity
+        return out

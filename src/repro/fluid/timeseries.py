@@ -18,7 +18,14 @@ import numpy as np
 from repro.analysis.timeseries import TimeSeries
 from repro.errors import ConfigurationError, SimulationError
 from repro.fluid.adaptation import AdaptationModel, InstantAdaptation
-from repro.fluid.solver import Channel, FluidFlow, Policy, solve
+from repro.fluid.solver import (
+    Channel,
+    FluidFlow,
+    Policy,
+    resolve_backend,
+    solve,
+)
+from repro.fluid.vectorized import CompiledProblem
 
 #: Tolerance for the strict-mode allocation invariants (GB/s).
 _INVARIANT_EPS = 1e-6
@@ -48,6 +55,15 @@ class DemandSchedule:
             if start <= t_s < end:
                 demand += delta
         return max(0.0, demand)
+
+    def at_many(self, times_s: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`at` — applies the deltas in the same order per
+        element, so ``at_many(ts)[i] == at(ts[i])`` bit-for-bit."""
+        times = np.asarray(times_s, dtype=float)
+        demand = np.full(times.shape, self.base_gbps)
+        for start, end, delta in self.deltas:
+            demand[(times >= start) & (times < end)] += delta
+        return np.maximum(0.0, demand)
 
 
 @dataclass
@@ -183,9 +199,25 @@ class FluidSimulator:
         ]
 
     def run(self, duration_s: float) -> Dict[str, FlowTrace]:
-        """Simulate ``duration_s`` seconds; returns a trace per flow."""
+        """Simulate ``duration_s`` seconds; returns a trace per flow.
+
+        Two equivalent implementations sit behind the
+        :data:`~repro.fluid.solver.BACKEND_ENV_VAR` switch: the reference
+        loop (backend ``python``) re-evaluates schedules and re-solves every
+        step, while the fast path (default) precomputes the demand and
+        capacity series as arrays and only calls the solver when the inputs
+        actually changed — piecewise-constant schedules like Figure 5's
+        collapse from thousands of solves to a handful. Memoized steps reuse
+        the solver's own earlier output, so the traces are identical.
+        """
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        if resolve_backend() == "python":
+            return self._run_reference(duration_s)
+        return self._run_fast(duration_s)
+
+    def _run_reference(self, duration_s: float) -> Dict[str, FlowTrace]:
+        """The straightforward step loop (reference backend)."""
         traces = {flow.name: FlowTrace(flow.name) for flow in self.flows}
         # Start every flow at its t=0 allocation (steady state before the run).
         for flow in self.flows:
@@ -217,4 +249,211 @@ class FluidSimulator:
                 trace.times_s.append(t)
                 trace.achieved_gbps.append(achieved)
                 trace.demand_gbps.append(flow.demand_gbps)
+        return traces
+
+    # ------------------------------------------------------------- fast path
+
+    @staticmethod
+    def _series(schedule, times: List[float]) -> np.ndarray:
+        """Evaluate a schedule over all ``times`` (vectorized when it can)."""
+        at_many = getattr(schedule, "at_many", None)
+        if at_many is not None:
+            return np.asarray(at_many(times), dtype=float)
+        return np.array([schedule.at(t) for t in times], dtype=float)
+
+    def _solve_step(
+        self, demand_column: np.ndarray, caps_column: Optional[List[float]]
+    ) -> np.ndarray:
+        """One cold solve: materialize the flow set and call :func:`solve`.
+
+        Goes through the module-global ``solve`` exactly like the reference
+        loop, so backend selection — and test monkeypatching — see the same
+        seam on both paths.
+        """
+        for j, flow in enumerate(self.flows):
+            flow.demand_gbps = float(demand_column[j])
+        if caps_column is None:
+            stepped = self.flows
+        else:
+            scaled = {
+                channel.name: Channel(channel.name, cap)
+                for channel, cap in zip(self._visit_channels, caps_column)
+            }
+            stepped = [
+                FluidFlow(
+                    flow.name,
+                    flow.demand_gbps,
+                    [(scaled[c.name], w) for c, w in flow.path],
+                    elastic=flow.elastic,
+                    weight=flow.weight,
+                )
+                for flow in self.flows
+            ]
+        allocation = solve(stepped, self.policy)
+        return np.array(
+            [allocation[flow.name] for flow in self.flows], dtype=float
+        )
+
+    def _check_fast(
+        self,
+        alloc: np.ndarray,
+        demands: np.ndarray,
+        caps: np.ndarray,
+        matrix: np.ndarray,
+        t_s: float,
+    ) -> None:
+        """Strict invariants on one step's vectors; first-violation order
+        (flow order, negative before above-demand, then channels in path
+        visit order) matches :meth:`_check_invariants`."""
+        negative = alloc < -_INVARIANT_EPS
+        above = alloc > demands + _INVARIANT_EPS
+        if (negative | above).any():
+            j = int(np.argmax(negative | above))
+            name = self.flows[j].name
+            if negative[j]:
+                raise SimulationError(
+                    f"t={t_s:.4f}s: flow {name!r} got a negative "
+                    f"allocation ({float(alloc[j])} GB/s)"
+                )
+            raise SimulationError(
+                f"t={t_s:.4f}s: flow {name!r} was allocated "
+                f"{float(alloc[j])} GB/s above its demand "
+                f"{float(demands[j])}"
+            )
+        loads = matrix @ alloc
+        over = loads > caps * (1.0 + 1e-9) + _INVARIANT_EPS
+        if over.any():
+            k = int(np.argmax(over))
+            raise SimulationError(
+                f"t={t_s:.4f}s: channel {self._visit_channels[k].name!r} "
+                f"oversubscribed — load {float(loads[k])} GB/s exceeds "
+                f"capacity {float(caps[k])}"
+            )
+
+    def _run_fast(self, duration_s: float) -> Dict[str, FlowTrace]:
+        """Array-driven run: precomputed schedules + solve memoization.
+
+        Per step the solver is consulted only when (demands, capacities)
+        differ from the previous step; a max-min/weighted step whose
+        capacities changed may additionally reuse the previous allocation
+        when the bottleneck-verification warm start proves it still optimal
+        (see :class:`repro.fluid.vectorized.CompiledProblem`).
+        """
+        flows = self.flows
+        n_flows = len(flows)
+        steps = int(round(duration_s / self.dt_s))
+        times = [step * self.dt_s for step in range(steps)]
+        eval_times = times if steps else [0.0]
+
+        demand_matrix = np.empty((n_flows, len(eval_times)))
+        for j, flow in enumerate(flows):
+            demand_matrix[j] = self._series(
+                self.schedules[flow.name], eval_times
+            )
+
+        # Channels in path-visit order (first appearance), like _flows_at.
+        visit: List[Channel] = []
+        seen = set()
+        for flow in flows:
+            for channel, __ in flow.path:
+                if channel.name not in seen:
+                    seen.add(channel.name)
+                    visit.append(channel)
+        self._visit_channels = visit
+        matrix = np.zeros((len(visit), n_flows))
+        index_of = {channel.name: k for k, channel in enumerate(visit)}
+        for j, flow in enumerate(flows):
+            for channel, weight in flow.path:
+                matrix[index_of[channel.name], j] += weight
+        base_caps = np.array([channel.capacity_gbps for channel in visit])
+
+        caps_matrix: Optional[np.ndarray] = None
+        if self.capacity_schedules:
+            factors = np.ones((len(visit), len(eval_times)))
+            for k, channel in enumerate(visit):
+                schedule = self.capacity_schedules.get(channel.name)
+                if schedule is not None:
+                    factors[k] = self._series(schedule, eval_times)
+            if (factors <= 0.0).any():
+                # Same first offender as the reference loop: earliest step,
+                # then first channel in visit order.
+                s = int(np.flatnonzero((factors <= 0.0).any(axis=0))[0])
+                k = int(np.flatnonzero(factors[:, s] <= 0.0)[0])
+                raise ConfigurationError(
+                    f"channel {visit[k].name}: capacity factor must stay "
+                    f"positive (got {factors[k, s]} at t={eval_times[s]})"
+                )
+            caps_matrix = base_caps[:, None] * factors
+
+        # Bottleneck-verification warm starts only apply to the max-min
+        # family with time-varying capacities.
+        problem: Optional[CompiledProblem] = None
+        perm: Optional[List[int]] = None
+        if caps_matrix is not None and self.policy in (
+            Policy.MAX_MIN,
+            Policy.WEIGHTED,
+        ):
+            problem = CompiledProblem(flows)
+            perm = [index_of[name] for name in problem.channel_names]
+
+        def caps_at(step: int):
+            if caps_matrix is None:
+                return None, base_caps
+            column = caps_matrix[:, step]
+            return column.tolist(), column
+
+        # Initial solve at t=0 (steady state before the run). times[0] is
+        # also 0.0, so it seeds the memo for step 0.
+        caps_list0, caps_vec0 = caps_at(0)
+        alloc = self._solve_step(demand_matrix[:, 0], caps_list0)
+        for j, flow in enumerate(flows):
+            self.adaptations[flow.name].reset(float(alloc[j]))
+        memo_demands = demand_matrix[:, 0].tobytes()
+        memo_caps = caps_vec0.tobytes()
+
+        alloc_matrix = np.empty((n_flows, steps))
+        for step in range(steps):
+            demand_column = demand_matrix[:, step]
+            caps_list, caps_vec = caps_at(step)
+            demand_key = demand_column.tobytes()
+            caps_key = caps_vec.tobytes()
+            if demand_key != memo_demands or caps_key != memo_caps:
+                warm_ok = (
+                    problem is not None
+                    and demand_key == memo_demands
+                    and problem.verify_max_min(
+                        alloc,
+                        demand_column,
+                        caps_vec[perm],
+                        use_weights=self.policy is Policy.WEIGHTED,
+                    )
+                )
+                if not warm_ok:
+                    alloc = self._solve_step(demand_column, caps_list)
+                memo_demands, memo_caps = demand_key, caps_key
+            if self.strict:
+                self._check_fast(
+                    alloc, demand_column, caps_vec, matrix, times[step]
+                )
+            alloc_matrix[:, step] = alloc
+
+        traces = {flow.name: FlowTrace(flow.name) for flow in flows}
+        for j, flow in enumerate(flows):
+            if steps:
+                flow.demand_gbps = float(demand_matrix[j, -1])
+            model = self.adaptations[flow.name]
+            targets = alloc_matrix[j].tolist()
+            run_series = getattr(model, "run_series", None)
+            if run_series is not None:
+                raw = run_series(targets, self.dt_s)
+            else:
+                raw = [model.step(target, self.dt_s) for target in targets]
+            demand_list = demand_matrix[j].tolist() if steps else []
+            trace = traces[flow.name]
+            trace.times_s = list(times)
+            trace.achieved_gbps = [
+                min(achieved, demand)
+                for achieved, demand in zip(raw, demand_list)
+            ]
+            trace.demand_gbps = demand_list
         return traces

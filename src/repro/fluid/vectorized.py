@@ -1,0 +1,397 @@
+"""NumPy fast path for the fluid solver: incidence-matrix water-filling.
+
+:class:`CompiledProblem` reformulates a flow set on a channel×flow incidence
+matrix ``A`` (``A[c, f]`` = bytes flow ``f`` puts on channel ``c`` per
+payload byte, summed over repeated path entries). Both policies then run as
+batched array passes instead of per-member Python loops:
+
+* **max-min / weighted** — progressive filling: the common fill level rises
+  by ``min((demand-alloc)/share, residual/weight_sum)`` each pass, channels
+  that saturate freeze every flow crossing them, all computed as vector
+  reductions over ``A``;
+* **demand-proportional** — the reference's scale-down (per channel, in the
+  same upstream-first order) and raise passes, with per-channel loads and
+  per-flow headrooms as matrix-vector products.
+
+The arithmetic deliberately mirrors :mod:`repro.fluid.solver`'s reference
+backend operation-for-operation; the only divergence is summation order
+(pairwise NumPy dot versus sequential Python ``sum``), so the two backends
+agree within 1e-9 on every allocation (``tests/test_fluid_vectorized.py``
+pins this, including a hypothesis sweep over random topologies).
+
+Warm starts
+-----------
+
+A compiled problem is built once per sweep and re-solved per point, and two
+incremental paths make repeated solves cheap:
+
+* **exact reuse** — identical ``(policy, demands, capacities)`` returns the
+  previous allocation without touching the arrays (bit-identical, valid for
+  every policy; this is what makes piecewise-constant sweeps like Figure 5
+  nearly free);
+* **bottleneck verification** (max-min/weighted only) — when only
+  capacities changed, the previous allocation is accepted iff it is still
+  feasible and every below-demand flow still has a *bottleneck*: a
+  saturated path channel on which it holds the maximal weight-normalized
+  rate. That condition characterizes the (unique) weighted max-min
+  allocation, so acceptance cannot change the answer; anything unclear
+  falls through to a cold vectorized solve.
+
+Demand-proportional allocations depend on the iteration's starting point,
+so they only ever take the exact-reuse path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.fluid.solver import FluidFlow, Policy, _channels_of
+
+__all__ = ["CompiledProblem", "solve_vectorized"]
+
+_EPS = 1e-9
+
+#: Saturation tolerance of the reference freeze pass (kept identical).
+_SAT_EPS = 1e-6
+
+
+def _subset_channel_order(
+    flows: Sequence[FluidFlow],
+    subset: Sequence[int],
+    index_of: Dict[str, int],
+) -> List[int]:
+    """Channel indices touched by ``subset`` flows, upstream-first.
+
+    Mirrors :func:`repro.fluid.solver._channels_of` ordering (mean position
+    along the subset's paths, ties by name) so the sequential scale-down
+    pass visits channels exactly like the reference backend does.
+    """
+    positions: Dict[str, List[int]] = {}
+    for j in subset:
+        for position, (channel, __) in enumerate(flows[j].path):
+            positions.setdefault(channel.name, []).append(position)
+
+    def sort_key(name: str):
+        pos = positions[name]
+        return (sum(pos) / len(pos), name)
+
+    return [index_of[name] for name in sorted(positions, key=sort_key)]
+
+
+class CompiledProblem:
+    """One flow set compiled to channel×flow incidence form.
+
+    Build once per sweep, then call :meth:`solve_array` per point with the
+    demand/capacity vectors of that point. The instance caches the last
+    solution for warm starts (see the module docstring); it never mutates
+    the :class:`~repro.fluid.solver.FluidFlow` objects it was built from.
+    """
+
+    def __init__(self, flows: Sequence[FluidFlow]) -> None:
+        flows = list(flows)
+        names = [flow.name for flow in flows]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate flow names in {names}")
+        channels = _channels_of(flows)
+        self.flow_names: List[str] = names
+        self.channel_names: List[str] = [channel.name for channel in channels]
+        index_of = {name: k for k, name in enumerate(self.channel_names)}
+        n_channels, n_flows = len(channels), len(flows)
+        matrix = np.zeros((n_channels, n_flows))
+        counts = np.zeros((n_channels, n_flows))
+        for j, flow in enumerate(flows):
+            for channel, weight in flow.path:
+                matrix[index_of[channel.name], j] += weight
+                counts[index_of[channel.name], j] += 1.0
+        self.matrix = matrix
+        #: A[c, f] = number of times channel c appears in flow f's path. The
+        #: reference scale-down pass multiplies a flow once per *membership
+        #: entry*, so a duplicated channel scales its flow twice per pass —
+        #: mirrored here to keep degenerate paths in agreement too.
+        self._entry_counts = counts
+        self.on_path = matrix > 0.0
+        self.base_capacities = np.array(
+            [channel.capacity_gbps for channel in channels]
+        )
+        self.base_demands = np.array([flow.demand_gbps for flow in flows])
+        self.elastic = np.array([flow.elastic for flow in flows], dtype=bool)
+        self.shares = np.array([flow.weight for flow in flows])
+        self.has_path = np.array([bool(flow.path) for flow in flows], dtype=bool)
+        #: Per-flow path entries as (channel index array, weight array),
+        #: duplicates preserved — the raise pass iterates them like the
+        #: reference iterates ``flow.path``.
+        self._path_entries: List[Tuple[np.ndarray, np.ndarray]] = [
+            (
+                np.array(
+                    [index_of[channel.name] for channel, __ in flow.path],
+                    dtype=np.intp,
+                ),
+                np.array([weight for __, weight in flow.path]),
+            )
+            for flow in flows
+        ]
+        paced = [j for j in range(n_flows) if not flows[j].elastic]
+        elastic = [j for j in range(n_flows) if flows[j].elastic]
+        self._order_paced = _subset_channel_order(flows, paced, index_of)
+        self._order_elastic = _subset_channel_order(flows, elastic, index_of)
+        self._order_all = _subset_channel_order(
+            flows, range(n_flows), index_of
+        )
+        self._flows = flows
+        self._memo: Optional[Tuple[Policy, bytes, bytes, np.ndarray]] = None
+
+    # ----------------------------------------------------------------- solve
+
+    def solve_array(
+        self,
+        policy: Policy = Policy.DEMAND_PROPORTIONAL,
+        demands: Optional[np.ndarray] = None,
+        capacities: Optional[np.ndarray] = None,
+        max_iterations: int = 10_000,
+        warm: bool = True,
+    ) -> np.ndarray:
+        """Allocation vector (flow order) for one sweep point.
+
+        ``demands``/``capacities`` default to the compiled flows' own values.
+        With ``warm=True`` (the default) the previous solution is reused when
+        provably unchanged; the returned array is read-only and shared, so
+        copy before mutating.
+        """
+        d = (
+            self.base_demands
+            if demands is None
+            else np.asarray(demands, dtype=float)
+        )
+        c = (
+            self.base_capacities
+            if capacities is None
+            else np.asarray(capacities, dtype=float)
+        )
+        if d.shape != self.base_demands.shape:
+            raise ConfigurationError(
+                f"expected {self.base_demands.shape[0]} demands, got {d.shape}"
+            )
+        if c.shape != self.base_capacities.shape:
+            raise ConfigurationError(
+                f"expected {self.base_capacities.shape[0]} capacities, "
+                f"got {c.shape}"
+            )
+        d_bytes, c_bytes = d.tobytes(), c.tobytes()
+        if warm and self._memo is not None:
+            m_policy, m_demands, m_caps, m_alloc = self._memo
+            if m_policy is policy and m_demands == d_bytes:
+                if m_caps == c_bytes:
+                    return m_alloc
+                if policy in (Policy.MAX_MIN, Policy.WEIGHTED) and (
+                    self.verify_max_min(
+                        m_alloc, d, c, use_weights=policy is Policy.WEIGHTED
+                    )
+                ):
+                    self._memo = (policy, d_bytes, c_bytes, m_alloc)
+                    return m_alloc
+        if policy is Policy.DEMAND_PROPORTIONAL:
+            alloc = self._solve_proportional(d, c, max_iterations)
+        else:
+            alloc = self._solve_max_min(
+                d, c, max_iterations, use_weights=policy is Policy.WEIGHTED
+            )
+        alloc.setflags(write=False)
+        self._memo = (policy, d_bytes, c_bytes, alloc)
+        return alloc
+
+    def solve_dict(
+        self,
+        policy: Policy = Policy.DEMAND_PROPORTIONAL,
+        demands: Optional[np.ndarray] = None,
+        capacities: Optional[np.ndarray] = None,
+        max_iterations: int = 10_000,
+        warm: bool = True,
+    ) -> Dict[str, float]:
+        """Like :meth:`solve_array`, as a {flow name: GB/s} dict."""
+        alloc = self.solve_array(
+            policy, demands, capacities, max_iterations, warm=warm
+        )
+        return {
+            name: float(value) for name, value in zip(self.flow_names, alloc)
+        }
+
+    # --------------------------------------------------- max-min (weighted)
+
+    def _solve_max_min(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        max_iterations: int,
+        use_weights: bool,
+    ) -> np.ndarray:
+        shares = self.shares if use_weights else np.ones(len(self.flow_names))
+        if use_weights and (shares <= 0.0).any():
+            offender = self.flow_names[int(np.argmax(shares <= 0.0))]
+            raise ConfigurationError(
+                f"flow {offender}: weight must be positive"
+            )
+        matrix, on_path = self.matrix, self.on_path
+        alloc = np.zeros(len(self.flow_names))
+        frozen = (~self.has_path) | (demands <= _EPS)
+        alloc[frozen] = demands[frozen]
+        for __ in range(max_iterations):
+            active = ~frozen
+            if not active.any():
+                return alloc
+            increment = ((demands - alloc)[active] / shares[active]).min()
+            weight_sum = matrix @ np.where(active, shares, 0.0)
+            residual = capacities - matrix @ alloc
+            movable = weight_sum > _EPS
+            if movable.any():
+                increment = min(
+                    increment, (residual[movable] / weight_sum[movable]).min()
+                )
+            increment = max(increment, 0.0)
+            alloc = alloc + np.where(active, increment * shares, 0.0)
+            met = active & (alloc >= demands - _EPS)
+            saturated = (matrix @ alloc) >= capacities - _SAT_EPS
+            on_saturated = (on_path & saturated[:, None]).any(axis=0)
+            newly = active & (met | on_saturated)
+            frozen = frozen | newly
+            if not newly.any() and increment <= _EPS:
+                # Numerical stall: freeze everything that remains.
+                frozen = frozen | active
+        return alloc
+
+    def verify_max_min(
+        self,
+        alloc: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        use_weights: bool,
+    ) -> bool:
+        """Is ``alloc`` (still) the weighted max-min allocation?
+
+        Sufficient-condition check used by the warm-start path: feasibility,
+        demand bounds, and a *bottleneck channel* for every below-demand
+        flow — a saturated path channel on which the flow's normalized rate
+        ``alloc/share`` is maximal among the channel's flows. The tolerances
+        are tight (1e-9 relative) so an accepted allocation differs from a
+        cold solve by at most that; anything unclear returns False.
+        """
+        shares = self.shares if use_weights else np.ones(len(self.flow_names))
+        if use_weights and (shares <= 0.0).any():
+            return False
+        load = self.matrix @ alloc
+        cap_tol = _EPS * np.maximum(1.0, capacities)
+        if (load > capacities + cap_tol).any():
+            return False
+        if (alloc > demands + _EPS * np.maximum(1.0, demands)).any():
+            return False
+        if (alloc < -_EPS).any():
+            return False
+        if ((~self.has_path) & (np.abs(alloc - demands) > _EPS)).any():
+            return False
+        below = self.has_path & (alloc < demands - _EPS)
+        if not below.any():
+            return True
+        saturated = load >= capacities - cap_tol
+        level = alloc / shares
+        member_levels = np.where(self.on_path, level[None, :], -np.inf)
+        top = member_levels.max(axis=1)
+        top_tol = _EPS * np.maximum(1.0, np.abs(top))
+        bottleneck = (
+            self.on_path
+            & saturated[:, None]
+            & (level[None, :] >= (top - top_tol)[:, None])
+        )
+        return bool(bottleneck.any(axis=0)[below].all())
+
+    # ------------------------------------------------- demand-proportional
+
+    def _solve_proportional(
+        self,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        max_iterations: int,
+    ) -> np.ndarray:
+        paced = ~self.elastic
+        alloc = np.zeros(len(self.flow_names))
+        if paced.any():
+            alloc = self._proportional_pass(
+                paced, demands, capacities, None, self._order_paced,
+                max_iterations,
+            )
+        if self.elastic.any():
+            committed = self.matrix @ np.where(paced, alloc, 0.0)
+            elastic_alloc = self._proportional_pass(
+                self.elastic, demands, capacities, committed,
+                self._order_elastic, max_iterations,
+            )
+            alloc = np.where(self.elastic, elastic_alloc, alloc)
+        return alloc
+
+    def _proportional_pass(
+        self,
+        subset: np.ndarray,
+        demands: np.ndarray,
+        capacities: np.ndarray,
+        committed: Optional[np.ndarray],
+        order: Sequence[int],
+        max_iterations: int,
+    ) -> np.ndarray:
+        members = np.where(subset[None, :], self.matrix, 0.0)
+        capacity = capacities if committed is None else np.maximum(
+            0.0, capacities - committed
+        )
+        alloc = np.where(subset, demands, 0.0)
+        flow_indices = np.flatnonzero(subset)
+        for __ in range(max_iterations):
+            changed = False
+            # Scale-down pass: sequential in upstream-first order — a
+            # channel's scaling feeds the reduced rate to the queues after
+            # it, exactly like the reference (and like open-loop traffic).
+            for c in order:
+                row = members[c]
+                load = row @ alloc
+                if load > capacity[c] + _EPS:
+                    scale = capacity[c] / load if load > 0 else 0.0
+                    alloc = np.where(
+                        row > 0.0, alloc * scale ** self._entry_counts[c], alloc
+                    )
+                    changed = True
+            # Raise pass: a flow below demand with slack on its whole path
+            # takes the slack; loads update sequentially in flow order.
+            loads = members @ alloc
+            for j in flow_indices:
+                gap = demands[j] - alloc[j]
+                if gap <= _EPS:
+                    continue
+                path_channels, path_weights = self._path_entries[j]
+                if len(path_channels) == 0:
+                    continue
+                headroom = (
+                    (capacity[path_channels] - loads[path_channels])
+                    / path_weights
+                ).min()
+                grab = min(gap, headroom)
+                if grab > _EPS:
+                    alloc[j] += grab
+                    loads = loads + grab * members[:, j]
+                    changed = True
+            if not changed:
+                return alloc
+        raise ConvergenceError(
+            f"demand-proportional solve did not converge in "
+            f"{max_iterations} iterations"
+        )
+
+
+def solve_vectorized(
+    flows: Sequence[FluidFlow],
+    policy: Policy = Policy.DEMAND_PROPORTIONAL,
+    max_iterations: int = 10_000,
+) -> Dict[str, float]:
+    """One-shot vectorized solve: compile, solve, return {name: GB/s}."""
+    problem = CompiledProblem(flows)
+    return problem.solve_dict(
+        policy=policy, max_iterations=max_iterations, warm=False
+    )

@@ -476,6 +476,12 @@ class Platform:
 
     # ----------------------------------------------------------------- lookup
 
+    def __repro_cache_key__(self) -> "PlatformSpec":
+        # A Platform is a pure function of its spec (the whole build above
+        # is deterministic), so the spec is its content-address surrogate
+        # for :mod:`repro.cache`.
+        return self.spec
+
     @property
     def name(self) -> str:
         return self.spec.name

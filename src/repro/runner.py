@@ -68,6 +68,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import ResultCache, default_cache
 from repro.errors import CellExecutionError, ConfigurationError
 
 __all__ = [
@@ -85,6 +86,15 @@ __all__ = [
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 JobsSpec = Union[int, str, None]
+
+#: Sentinel: "use :func:`repro.cache.default_cache`" (distinct from None,
+#: which means "definitely no caching").
+USE_DEFAULT_CACHE = object()
+
+#: Spinning up a process pool costs tens of milliseconds (fork + import +
+#: pickling); sweeps cheaper than this run serially instead (see
+#: ``pool_threshold_s``).
+POOL_THRESHOLD_S = 0.05
 
 
 @dataclass(frozen=True)
@@ -140,13 +150,18 @@ class CellFailure:
 
 @dataclass(frozen=True)
 class CellResult:
-    """Structured outcome of one cell: a value or a failure, never both."""
+    """Structured outcome of one cell: a value or a failure, never both.
+
+    ``cached=True`` marks a value served from the result cache without
+    executing the cell (``attempts`` is 0 in that case).
+    """
 
     index: int
     value: Any = None
     failure: Optional[CellFailure] = None
     attempts: int = 1
     duration_s: float = 0.0
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -296,6 +311,8 @@ def run_cells_detailed(
     retries: int = 0,
     backoff_s: float = 0.25,
     fail_fast: bool = False,
+    cache: Any = USE_DEFAULT_CACHE,
+    pool_threshold_s: float = POOL_THRESHOLD_S,
 ) -> List[CellResult]:
     """Run every cell; one :class:`CellResult` per cell, submission order.
 
@@ -304,6 +321,23 @@ def run_cells_detailed(
     ``backoff_s * 2**(attempt-1)`` seconds before each retry; ``fail_fast``
     raises :class:`~repro.errors.CellExecutionError` for the first cell whose
     attempts are exhausted instead of collecting the failure.
+
+    ``cache`` is a :class:`~repro.cache.ResultCache` (or None to disable);
+    by default the process-wide :func:`~repro.cache.default_cache` is used,
+    which is itself None unless the CLI (or ``REPRO_CACHE``) enabled it.
+    Hits skip execution entirely; every successfully executed cacheable
+    cell is stored afterwards. Because cells are pure functions of their
+    arguments, hits are values a clean run would have computed — cached,
+    uncached, and any ``--jobs`` runs stay bit-identical.
+
+    ``pool_threshold_s`` guards against pool spin-up dwarfing the work
+    (tens of ms of fork + import for a sweep of sub-millisecond cells):
+    cells run in-process until their *accumulated measured* runtime crosses
+    the threshold, and only the remainder is fanned out to a pool. Tiny
+    sweeps therefore never pay for a pool; the worst case versus eager
+    pooling is bounded by the threshold plus one cell. Set it to 0 to pool
+    unconditionally; per-cell timeouts (which need a pool to preempt) also
+    disable the ramp.
     """
     if timeout_s is not None and timeout_s <= 0:
         raise ConfigurationError(f"timeout_s must be positive, got {timeout_s}")
@@ -311,34 +345,81 @@ def run_cells_detailed(
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
     if backoff_s < 0:
         raise ConfigurationError(f"backoff_s must be >= 0, got {backoff_s}")
+    if pool_threshold_s < 0:
+        raise ConfigurationError(
+            f"pool_threshold_s must be >= 0, got {pool_threshold_s}"
+        )
     cells = list(cells)
     if not cells:
         return []
-    workers = min(resolve_jobs(jobs), len(cells))
-    pooled = workers > 1 and _picklable(cells)
+    cache_obj: Optional[ResultCache] = (
+        default_cache() if cache is USE_DEFAULT_CACHE else cache
+    )
     results: Dict[int, CellResult] = {}
-    pending = list(range(len(cells)))
+    keys: List[Optional[str]] = [None] * len(cells)
+    if cache_obj is not None:
+        for index, cell in enumerate(cells):
+            key = cache_obj.key_for(cell.fn, cell.args, cell.kwargs)
+            keys[index] = key
+            if key is None:
+                continue
+            hit, value = cache_obj.get(key)
+            if hit:
+                results[index] = CellResult(
+                    index, value=value, attempts=0, cached=True
+                )
+    pending = [index for index in range(len(cells)) if index not in results]
+    workers = min(resolve_jobs(jobs), len(cells))
+    pooled = workers > 1 and pending and _picklable(
+        [cells[index] for index in pending]
+    )
     for attempt in range(1, retries + 2):
         if not pending:
             break
         if attempt > 1 and backoff_s > 0:
             time.sleep(backoff_s * 2 ** (attempt - 2))
-        batch: Optional[Dict[int, CellResult]] = None
-        if pooled:
-            batch = _run_batch_pooled(cells, pending, workers, timeout_s, attempt)
-            if batch is None:
+        batch: Dict[int, CellResult] = {}
+        remaining = list(pending)
+        if (
+            pooled
+            and attempt == 1
+            and timeout_s is None
+            and pool_threshold_s > 0
+        ):
+            # Serial ramp: see the docstring. Measured, not guessed — the
+            # first cells' actual cost decides whether a pool is worth it.
+            ramp_started = time.perf_counter()
+            while remaining and (
+                time.perf_counter() - ramp_started < pool_threshold_s
+            ):
+                index = remaining.pop(0)
+                batch[index] = _run_in_process(cells[index], index, attempt)
+            if not remaining:
                 pooled = False
-        if batch is None:
-            batch = {
-                index: _run_in_process(cells[index], index, attempt)
-                for index in pending
-            }
+        if remaining and pooled:
+            pool_batch = _run_batch_pooled(
+                cells, remaining, workers, timeout_s, attempt
+            )
+            if pool_batch is None:
+                pooled = False
+            else:
+                batch.update(pool_batch)
+                remaining = []
+        for index in remaining:
+            batch[index] = _run_in_process(cells[index], index, attempt)
         results.update(batch)
         final = attempt == retries + 1
         still_failed = [i for i in pending if not results[i].ok]
         if fail_fast and final and still_failed:
             raise results[still_failed[0]].failure.as_exception()
         pending = still_failed
+    if cache_obj is not None:
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            result = results[index]
+            if result.ok and not result.cached:
+                cache_obj.put(key, result.value)
     return [results[index] for index in range(len(cells))]
 
 
@@ -348,6 +429,8 @@ def run_cells(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     backoff_s: float = 0.25,
+    cache: Any = USE_DEFAULT_CACHE,
+    pool_threshold_s: float = POOL_THRESHOLD_S,
 ) -> List[Any]:
     """Run every cell; results come back in submission order.
 
@@ -360,7 +443,8 @@ def run_cells(
     """
     detailed = run_cells_detailed(
         cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
-        backoff_s=backoff_s, fail_fast=False,
+        backoff_s=backoff_s, fail_fast=False, cache=cache,
+        pool_threshold_s=pool_threshold_s,
     )
     for result in detailed:
         if not result.ok:

@@ -1,8 +1,16 @@
 """Shared fixtures: the two paper platforms, built once per session."""
 
+import os
+
 import pytest
 
 from repro.platform.presets import epyc_7302, epyc_9634
+
+# Tests monkeypatch experiment functions and then drive cli.main(); the
+# CLI's default-on result cache would persist those doctored values under
+# real keys. Keep the whole test process uncached unless a test opts in
+# explicitly (monkeypatch.setenv / an explicit ResultCache).
+os.environ.setdefault("REPRO_CACHE", "0")
 
 
 @pytest.fixture(scope="session")

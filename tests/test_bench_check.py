@@ -1,0 +1,60 @@
+"""Tests for the bench regression gate (benchmarks/check_bench.py)."""
+
+import json
+
+from benchmarks.check_bench import compare, load_history, main
+
+
+def _history():
+    return [
+        {"bench": "regressed", "seconds": 1.0},
+        {"bench": "regressed", "seconds": 1.5},
+        {"bench": "within_tolerance", "seconds": 1.0},
+        {"bench": "within_tolerance", "seconds": 1.1},
+        {"bench": "jitter_under_floor", "seconds": 0.0001},
+        {"bench": "jitter_under_floor", "seconds": 0.001},
+        {"bench": "improved", "seconds": 2.0},
+        {"bench": "improved", "seconds": 0.5},
+        {"bench": "first_sample", "seconds": 3.0},
+        {"not_a_bench": True},
+    ]
+
+
+def test_compare_flags_only_real_regressions():
+    rows, regressions = compare(_history(), tolerance=0.25, floor_s=2e-3)
+    assert regressions == ["regressed"]
+    status = {name: state for name, *_rest, state in rows}
+    assert status["regressed"] == "REGRESSED"
+    assert status["within_tolerance"] == "ok"
+    # 10x slower but under the absolute floor: jitter, not a regression.
+    assert status["jitter_under_floor"] == "ok"
+    assert status["improved"] == "ok"
+    assert status["first_sample"] == "new"
+
+
+def test_uses_last_two_samples_per_bench():
+    history = [
+        {"bench": "a", "seconds": 10.0},  # old, superseded
+        {"bench": "a", "seconds": 1.0},
+        {"bench": "a", "seconds": 1.05},
+    ]
+    __, regressions = compare(history, tolerance=0.25, floor_s=0.0)
+    assert regressions == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    results = tmp_path / "BENCH_results.json"
+    assert main(["--results", str(results)]) == 0  # no history: nothing to gate
+    results.write_text(json.dumps(_history()))
+    assert main(["--results", str(results)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert main(["--results", str(results), "--tolerance", "0.6"]) == 0
+
+
+def test_load_history_tolerates_corruption(tmp_path):
+    path = tmp_path / "BENCH_results.json"
+    path.write_text("{not json")
+    assert load_history(path) == []
+    path.write_text(json.dumps({"a": 1}))
+    assert load_history(path) == []

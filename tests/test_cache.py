@@ -1,0 +1,213 @@
+"""Tests for the content-addressed cell result cache."""
+
+import dataclasses
+import enum
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_ENV_VAR,
+    ResultCache,
+    Uncacheable,
+    cache_enabled_by_env,
+    code_fingerprint,
+    default_cache,
+    set_default_cache,
+    stable_bytes,
+)
+from repro.runner import Cell, run_cells, run_cells_detailed
+
+
+@dataclasses.dataclass(frozen=True)
+class _Point:
+    x: float
+    label: str
+
+
+class _Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError("cell failure")
+
+
+def _typeof(x):
+    return type(x).__name__
+
+
+class TestStableBytes:
+    def test_dict_order_invariant(self):
+        assert stable_bytes({"a": 1, "b": 2}) == stable_bytes({"b": 2, "a": 1})
+
+    def test_set_order_invariant(self):
+        assert stable_bytes({3, 1, 2}) == stable_bytes({2, 3, 1})
+
+    def test_distinguishes_types(self):
+        assert stable_bytes(1) != stable_bytes(1.0)
+        assert stable_bytes("1") != stable_bytes(1)
+        assert stable_bytes(True) != stable_bytes(1)
+        assert stable_bytes([1, 2]) != stable_bytes([2, 1])
+
+    def test_dataclass_enum_array(self):
+        value = (_Point(1.5, "p"), _Color.RED, np.arange(4.0))
+        assert stable_bytes(value) == stable_bytes(
+            (_Point(1.5, "p"), _Color.RED, np.arange(4.0))
+        )
+        assert stable_bytes(_Color.RED) != stable_bytes(_Color.BLUE)
+        assert stable_bytes(np.arange(4.0)) != stable_bytes(
+            np.arange(4.0).reshape(2, 2)
+        )
+
+    def test_callables_by_qualified_name(self):
+        assert stable_bytes(_square) == stable_bytes(_square)
+        assert stable_bytes(_square) != stable_bytes(_boom)
+
+    def test_unencodable_raises_uncacheable(self):
+        with pytest.raises(Uncacheable):
+            stable_bytes(object())
+
+    def test_platform_encodes_via_its_spec(self):
+        # Experiment cells take Platform arguments; without a stable
+        # encoding every real sweep would silently become uncacheable.
+        from repro.platform.presets import epyc_7302, epyc_9634
+
+        assert stable_bytes(epyc_7302()) == stable_bytes(epyc_7302())
+        assert stable_bytes(epyc_7302()) != stable_bytes(epyc_9634())
+
+
+class TestResultCache:
+    def test_keys_stable_across_instances(self, tmp_path):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        key = a.key_for(_square, (3,), {})
+        assert key is not None
+        assert key == b.key_for(_square, (3,), {})
+        assert key != a.key_for(_square, (4,), {})
+        assert key != a.key_for(_boom, (3,), {})
+
+    def test_uncacheable_input_yields_no_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.key_for(_square, (object(),), {}) is None
+
+    def test_round_trip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_square, (3,), {})
+        hit, value = cache.get(key)
+        assert (hit, value) == (False, None)
+        assert cache.put(key, 9)
+        hit, value = cache.get(key)
+        assert (hit, value) == (True, 9)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for x in range(3):
+            cache.put(cache.key_for(_square, (x,), {}), x * x)
+        stats = cache.stats()
+        assert stats.entries == 3
+        assert stats.bytes > 0
+        assert stats.root == str(tmp_path)
+        assert cache.clear() == 3
+        assert cache.stats().entries == 0
+
+    def test_unstorable_value_degrades_to_false(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_square, (1,), {})
+        assert not cache.put(key, lambda: None)  # unpicklable
+
+    def test_root_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "store"))
+        assert ResultCache().root == tmp_path / "store"
+
+    def test_code_fingerprint_stable_in_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+
+class TestRunnerIntegration:
+    def test_second_run_hits_and_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = [Cell(_square, (x,)) for x in range(4)]
+        first = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert [r.value for r in first] == [0, 1, 4, 9]
+        assert all(not r.cached and r.attempts == 1 for r in first)
+        second = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert [r.value for r in second] == [0, 1, 4, 9]
+        assert all(r.cached and r.attempts == 0 for r in second)
+
+    def test_cached_matches_uncached_for_any_jobs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = [Cell(_square, (x,)) for x in range(6)]
+        uncached = run_cells(cells, jobs=1, cache=None)
+        for jobs in (1, 3):
+            assert run_cells(cells, jobs=jobs, cache=cache) == uncached
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cells = [Cell(_boom, (1,))]
+        detailed = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert not detailed[0].ok
+        assert cache.stats().entries == 0
+        rerun = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert not rerun[0].ok and not rerun[0].cached
+
+    def test_uncacheable_cell_still_runs(self, tmp_path):
+        # An argument with no stable encoding means no key: the cell runs
+        # normally every time and nothing lands in the store.
+        cache = ResultCache(tmp_path)
+        cells = [Cell(_typeof, (object(),))]
+        detailed = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert detailed[0].ok and not detailed[0].cached
+        assert cache.stats().entries == 0
+        rerun = run_cells_detailed(cells, jobs=1, cache=cache)
+        assert rerun[0].ok and not rerun[0].cached
+
+    def test_store_shared_between_instances(self, tmp_path):
+        cells = [Cell(_square, (5,))]
+        run_cells_detailed(cells, jobs=1, cache=ResultCache(tmp_path))
+        second = run_cells_detailed(
+            cells, jobs=1, cache=ResultCache(tmp_path)
+        )
+        assert second[0].cached and second[0].value == 25
+
+
+class TestDefaultCache:
+    @pytest.fixture(autouse=True)
+    def _reset_default(self):
+        # Restore the "never explicitly set" state so env-var resolution
+        # is observable again after tests that install a default.
+        import repro.cache as cache_module
+
+        yield
+        cache_module._default = cache_module._UNSET
+
+    def test_explicit_default_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "0")
+        cache = ResultCache(tmp_path)
+        set_default_cache(cache)
+        assert default_cache() is cache
+        set_default_cache(None)
+        assert default_cache() is None
+
+    def test_env_truthy_builds_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "1")
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        cache = default_cache()
+        assert cache is not None and cache.root == Path(tmp_path)
+
+    def test_env_falsy_disables(self, monkeypatch):
+        for raw in ("0", "off", "FALSE", "no"):
+            monkeypatch.setenv(CACHE_ENV_VAR, raw)
+            assert not cache_enabled_by_env()
+            assert default_cache() is None
+        monkeypatch.setenv(CACHE_ENV_VAR, "1")
+        assert cache_enabled_by_env()

@@ -188,3 +188,86 @@ class TestCsvExport:
         assert main(["patterns", "--platform", "7302"]) == 0
         out = capsys.readouterr().out
         assert "pointer-chase" in out
+
+
+class TestCacheCLI:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        # Point the default store into the sandbox and restore the
+        # unset process default afterwards.
+        import repro.cache as cache_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        yield tmp_path / "store"
+        cache_module._default = cache_module._UNSET
+
+    def test_stats_on_empty_store(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert "store" in out
+
+    def test_clear_reports_count(self, capsys, tmp_path):
+        from repro.cache import ResultCache
+
+        store = tmp_path / "explicit"
+        cache = ResultCache(store)
+        cache.put("ab" + "0" * 62, {"answer": 42})
+        assert main(["cache", "clear", "--dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 cached result(s)" in out
+        assert cache.stats().entries == 0
+
+    def test_no_cache_flag_accepted_everywhere(self):
+        parser = build_parser()
+        for command in ("fig5", "fig6", "netstack", "chaos", "table2"):
+            args = parser.parse_args([command, "--no-cache"])
+            assert args.no_cache
+
+    def test_cached_rerun_is_byte_identical(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        argv = [
+            "netstack", "--platform", "7302", "--arm", "off",
+            "--transactions", "40",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert main(argv + ["--no-cache"]) == 0
+        uncached = capsys.readouterr().out
+        assert uncached == cold
+
+    def test_cached_rerun_populates_store(self, capsys, monkeypatch, _isolated_cache):
+        from repro.cache import ResultCache
+
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        argv = [
+            "chaos", "--platform", "7302", "--severity", "0",
+            "--transactions", "30",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        store = ResultCache(_isolated_cache)
+        populated = store.stats().entries
+        assert populated > 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert store.stats().entries == populated  # pure hits, no new work
+
+
+class TestBackendValidation:
+    def test_unknown_fluid_backend_rejected_even_with_warm_cache(self, monkeypatch):
+        # A warm cache can satisfy a whole run without touching the
+        # solver; the typo'd env var must still fail fast.
+        monkeypatch.setenv("REPRO_FLUID_BACKEND", "cuda")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table3"])
+        assert excinfo.value.code == 2
+
+    def test_backend_aliases_accepted(self, capsys, monkeypatch):
+        for raw in ("numpy", "vectorized", "python", "reference", "auto"):
+            monkeypatch.setenv("REPRO_FLUID_BACKEND", raw)
+            assert main(["table3"]) == 0
+            assert "Table 3" in capsys.readouterr().out

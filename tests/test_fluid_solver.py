@@ -5,6 +5,9 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.fluid.solver import Channel, FluidFlow, Policy, solve
 
+BACKENDS = ("python", "numpy")
+POLICIES = (Policy.DEMAND_PROPORTIONAL, Policy.MAX_MIN, Policy.WEIGHTED)
+
 
 def two_flows(capacity, d0, d1, policy=Policy.DEMAND_PROPORTIONAL, **kwargs):
     channel = Channel("link", capacity)
@@ -41,6 +44,47 @@ class TestValidation:
         flows = [FluidFlow("f0", 1.0).add(a), FluidFlow("f1", 1.0).add(b)]
         with pytest.raises(ConfigurationError):
             solve(flows)
+
+
+class TestEdgeCases:
+    """Degenerate problems both backends must handle identically."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_single_flow_single_channel(self, backend, policy):
+        # Undersubscribed: the flow gets its demand.
+        flow = FluidFlow("only", 6.0).add(Channel("link", 10.0))
+        assert solve([flow], policy, backend=backend)["only"] == (
+            pytest.approx(6.0)
+        )
+        # Oversubscribed: the flow gets the capacity.
+        flow = FluidFlow("only", 60.0).add(Channel("link", 10.0))
+        assert solve([flow], policy, backend=backend)["only"] == (
+            pytest.approx(10.0)
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_zero_demand_flow(self, backend, policy):
+        channel = Channel("link", 10.0)
+        flows = [
+            FluidFlow("idle", 0.0).add(channel),
+            FluidFlow("busy", 25.0).add(channel),
+        ]
+        alloc = solve(flows, policy, backend=backend)
+        assert alloc["idle"] == pytest.approx(0.0)
+        assert alloc["busy"] == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_zero_weight_flow_rejected_under_weighted(self, backend):
+        flow = FluidFlow("f", 5.0, weight=0.0).add(Channel("link", 10.0))
+        with pytest.raises(ConfigurationError, match="weight must be positive"):
+            solve([flow], Policy.WEIGHTED, backend=backend)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_empty_flow_list(self, backend, policy):
+        assert solve([], policy, backend=backend) == {}
 
 
 class TestFigure4Cases:

@@ -160,7 +160,7 @@ def test_oserror_inside_cell_propagates():
     # surface like any other cell error.
     cells = [Cell(_square, (2,)), Cell(_raise_oserror, (1,))]
     with pytest.raises(OSError, match="dead file"):
-        run_cells(cells, jobs=2)
+        run_cells(cells, jobs=2, pool_threshold_s=0)
     with pytest.raises(OSError, match="dead file"):
         run_cells(cells, jobs=1)
 
@@ -169,8 +169,10 @@ def test_worker_crash_recovers_all_cells():
     # A worker dying mid-batch (BrokenProcessPool) must not lose anything:
     # affected cells re-run in-process and the results match a clean
     # jobs=1 run bit-for-bit.
+    # pool_threshold_s=0 forces pooling — these cells are far too cheap for
+    # the adaptive serial ramp to ever hand them to workers otherwise.
     cells = [Cell(_crash_worker_if_odd, (x,)) for x in range(6)]
-    pooled = run_cells(cells, jobs=3)
+    pooled = run_cells(cells, jobs=3, pool_threshold_s=0)
     serial = run_cells(cells, jobs=1)
     assert pooled == serial == [x * x for x in range(6)]
 
@@ -179,11 +181,53 @@ def test_worker_crash_with_failing_rerun_reports_crash():
     # When the in-process re-run after a worker death fails too, the
     # failure carries the crash context.
     cells = [Cell(_crash_worker_raise_main, (0,)), Cell(_square, (3,))]
-    detailed = run_cells_detailed(cells, jobs=2)
+    detailed = run_cells_detailed(cells, jobs=2, pool_threshold_s=0)
     assert detailed[1].ok and detailed[1].value == 9
     assert not detailed[0].ok
     assert detailed[0].failure.kind == "crash"
     assert isinstance(detailed[0].failure.error, RuntimeError)
+
+
+class TestSerialRamp:
+    """The adaptive serial ramp: cheap batches never pay pool startup."""
+
+    def _forbid_pool(self, monkeypatch):
+        import repro.runner as runner_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("process pool constructed for a cheap batch")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", explode)
+
+    def test_cheap_cells_never_touch_the_pool(self, monkeypatch):
+        self._forbid_pool(monkeypatch)
+        cells = [Cell(_square, (x,)) for x in range(8)]
+        assert run_cells(cells, jobs=4) == [x * x for x in range(8)]
+
+    def test_threshold_zero_forces_pool(self, monkeypatch):
+        self._forbid_pool(monkeypatch)
+        cells = [Cell(_square, (x,)) for x in range(2)]
+        with pytest.raises(AssertionError, match="process pool constructed"):
+            run_cells(cells, jobs=2, pool_threshold_s=0)
+
+    def test_timeout_disables_the_ramp(self, monkeypatch):
+        # Per-cell timeouts need worker preemption, so the pool is
+        # mandatory even for cheap cells.
+        self._forbid_pool(monkeypatch)
+        cells = [Cell(_square, (x,)) for x in range(2)]
+        with pytest.raises(AssertionError, match="process pool constructed"):
+            run_cells(cells, jobs=2, timeout_s=5.0)
+
+    def test_expensive_prefix_hands_rest_to_pool(self):
+        # Once the measured serial time crosses the threshold, the
+        # remaining cells go to workers — results still in order.
+        cells = [Cell(_sleep_then_return, (x,), dict(duration_s=0.03)) for x in range(6)]
+        out = run_cells(cells, jobs=3, pool_threshold_s=0.05)
+        assert out == list(range(6))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_cells([Cell(_square, (1,))], pool_threshold_s=-0.1)
 
 
 def test_per_cell_timeout_isolates_slow_cell():
