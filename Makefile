@@ -9,14 +9,15 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke
+.PHONY: test bench bench-check lint verify chaos-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
 
 bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
-		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py -q
+		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py \
+		benchmarks/bench_trace.py -q
 
 # Append fresh samples to BENCH_results.json, then fail if any tracked
 # bench got >25% slower than its previous sample (2ms jitter floor).
@@ -36,6 +37,20 @@ verify:
 	timeout 600 $(PYTEST) -x -q
 	timeout 120 $(PYTEST) benchmarks/bench_engine.py -q --benchmark-disable
 	@echo "verify: OK"
+
+# The cross-backend/cross-platform conformance sweeps (tier-2): excluded
+# from the default suite by the pytest marker filter, run here explicitly.
+conformance:
+	timeout 900 $(PYTEST) -m conformance -q
+
+# Informational line coverage. Guarded like `lint`: pytest-cov is a CI
+# install; a container without it skips instead of failing.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTEST) -q --cov=repro --cov-report=term; \
+	else \
+		echo "coverage: pytest-cov not installed, skipping"; \
+	fi
 
 # A quick end-to-end fault sweep on both platforms: exercises the fault
 # subsystem, the hardened runner, and strict invariant checking in one go.

@@ -1,0 +1,74 @@
+"""Tracing overhead benchmarks: the null path must stay free.
+
+Two numbers, measured on the netstack DES contention cell (the hottest
+instrumented loop):
+
+* the *null-tracer* run — ``env.tracer is None``, the default — which is
+  the path every existing experiment takes and must stay inside the
+  ``make bench-check`` regression budget (the 25% gate vs the previous
+  sample of this bench);
+* the *traced* run, whose slowdown factor each sample records as
+  metadata so the trajectory in ``BENCH_results.json`` tracks what
+  turning tracing on actually costs.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_trace.py -q
+"""
+
+from repro.experiments import netstack
+
+#: Generous hang-catching ceilings (seconds), not jitter-sensitive bars.
+DES_CEILING_S = 30.0
+
+#: Traced runs append ~8 span dicts per transaction; anything beyond this
+#: factor over the untraced twin means tracing leaked into the hot loop.
+TRACED_SLOWDOWN_CEILING = 5.0
+
+_TRANSACTIONS = 150
+
+
+def bench_trace_null_path(benchmark, p7302, record_timing):
+    """The untraced DES cell — the default path every experiment takes."""
+    point = benchmark.pedantic(
+        netstack.run_point, args=(p7302, "credits", "des"),
+        kwargs=dict(transactions_per_core=_TRANSACTIONS),
+        rounds=3, iterations=1,
+    )
+    best = benchmark.stats.stats.min
+    record_timing(
+        "bench_trace_null_path",
+        best,
+        transactions_per_core=_TRANSACTIONS,
+        jain=point.jain,
+    )
+    assert best < DES_CEILING_S
+
+
+def bench_trace_recording(benchmark, p7302, record_timing):
+    """The same cell with a live tracer: bit-identical results, spans out."""
+    import time
+
+    point, recording, __ = benchmark.pedantic(
+        netstack.run_point_traced, args=(p7302, "credits"),
+        kwargs=dict(transactions_per_core=_TRANSACTIONS),
+        rounds=3, iterations=1,
+    )
+    traced_best = benchmark.stats.stats.min
+    started = time.perf_counter()
+    untraced = netstack.run_point(
+        p7302, "credits", "des", transactions_per_core=_TRANSACTIONS
+    )
+    untraced_s = time.perf_counter() - started
+    assert point == untraced  # tracing observes, never perturbs
+    assert recording.spans and recording.dropped_open == 0
+    slowdown = traced_best / untraced_s if untraced_s > 0 else 1.0
+    record_timing(
+        "bench_trace_recording",
+        traced_best,
+        transactions_per_core=_TRANSACTIONS,
+        spans=len(recording.spans),
+        slowdown_vs_untraced=slowdown,
+    )
+    assert traced_best < DES_CEILING_S
+    assert slowdown < TRACED_SLOWDOWN_CEILING

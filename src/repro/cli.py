@@ -81,6 +81,21 @@ def _severity_arg(text: str) -> float:
     return value
 
 
+def _samples_arg(text: str) -> int:
+    """argparse type for --samples: an integer >= 10."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 10, got {text!r}"
+        ) from None
+    if value < 10:
+        raise argparse.ArgumentTypeError(
+            f"need at least 10 samples, got {value}"
+        )
+    return value
+
+
 def _platforms_for(name: str) -> List[Platform]:
     name = _PLATFORM_ALIASES.get(name.strip().lower(), name)
     if name == "all":
@@ -221,6 +236,32 @@ def build_parser() -> argparse.ArgumentParser:
     netstack_cmd.add_argument(
         "--fail-fast", action="store_true",
         help="abort the comparison on the first cell that fails",
+    )
+    trace_cmd = add(
+        "trace",
+        "span-trace one cell: per-hop latency attribution + Perfetto JSON",
+        platform_default="7302",
+    )
+    trace_cmd.add_argument(
+        "cell", choices=("netstack", "table2"),
+        help=(
+            "netstack: the Fig 4-6 contention cell, one traced DES run per "
+            "stack arm; table2: the DRAM/CXL pointer chases, one per position"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--samples", type=_samples_arg, default=None, metavar="N",
+        help=(
+            "transactions per core (netstack) or chase iterations (table2); "
+            "defaults keep the trace a few MB"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--out", default=None, metavar="FILE",
+        help=(
+            "trace JSON path (default trace-<cell>-<platform>.json; "
+            "'-' skips the file and prints only the breakdown)"
+        ),
     )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
@@ -416,6 +457,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fail_fast=args.fail_fast,
             )
             out.append(netstack.render(platform.name, results))
+
+    elif args.command == "trace":
+        from repro.experiments import trace as trace_exp
+
+        platforms = _platforms_for(args.platform)
+        if args.out not in (None, "-") and len(platforms) > 1:
+            build_parser().error(
+                "--out names a single file; pick a single --platform"
+            )
+        for platform in platforms:
+            results = trace_exp.run(
+                platform, args.cell,
+                seed=args.seed, samples=args.samples, jobs=jobs,
+            )
+            out.append(trace_exp.render(platform, args.cell, results))
+            if args.out != "-":
+                path = args.out or trace_exp.default_out_path(
+                    args.cell, platform
+                )
+                text, events = trace_exp.export_json(results)
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                out.append(f"wrote {path} ({events} trace events)")
 
     elif args.command == "devtree":
         from repro.telemetry.devtree import build_devtree, render_dts

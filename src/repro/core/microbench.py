@@ -59,12 +59,19 @@ class MicroBench:
         target: str = "dram",
         iterations: int = 2000,
         remote_socket: bool = False,
+        tracer=None,
     ) -> Tuple[MemoryLevel, LatencyStats]:
         """Dependent-load latency; the level is resolved by working-set size.
 
         For cache-resident working sets the latency is the level's load-to-use
         time plus timer noise; DRAM/CXL-resident sets run through the DES with
         a single outstanding transaction, so DRAM jitter shapes the tail.
+
+        ``tracer`` (a :class:`repro.trace.Tracer`) attaches to the chase's
+        DES environment and records one span per transaction with per-hop
+        children — the decomposition behind ``repro trace table2``. It is
+        ignored for cache-resident working sets (no DES runs) and never
+        changes the measured statistics.
         """
         if iterations < 10:
             raise ConfigurationError("need at least 10 iterations")
@@ -85,8 +92,11 @@ class MicroBench:
             return level, LatencyStats.from_samples(samples.clip(min=0.0))
 
         env = Environment()
+        if tracer is not None:
+            tracer.attach(env)
         resolver = PathResolver(env, self.platform, seed=self.seed)
-        executor = TransactionExecutor(env)
+        flow = f"chase/{position.value}" if target == "dram" else "chase/cxl"
+        executor = TransactionExecutor(env, flow=flow)
         core = self.platform.core(core_id)
         if target == "dram":
             candidates = self.platform.umcs_at(core.ccd_id, position)

@@ -53,8 +53,8 @@ from repro.transport.path import PathResolver
 from repro.transport.transaction import TransactionExecutor
 
 __all__ = [
-    "ARMS", "BACKENDS", "NetPoint", "config_for", "run_point", "run",
-    "render",
+    "ARMS", "BACKENDS", "NetPoint", "config_for", "run_point",
+    "run_point_traced", "run", "render",
 ]
 
 #: The stack arms, in presentation order.
@@ -141,10 +141,13 @@ def _run_des(
     config: NetStackConfig,
     seed: int,
     transactions_per_core: int,
+    tracer=None,
 ) -> NetPoint:
     victim, hog = _cell_streams(platform)
     shared = shared_umc_ids(platform)
     env = Environment()
+    if tracer is not None:
+        tracer.attach(env)
     resolver = PathResolver(env, platform, seed=seed)
     installation = install(
         resolver, config,
@@ -155,7 +158,7 @@ def _run_des(
     issuers: Dict[str, ClosedLoopIssuer] = {}
     finished = []
     for spec in (victim, hog):
-        executor = TransactionExecutor(env)
+        executor = TransactionExecutor(env, flow=spec.name)
         gate = installation.gate(executor, spec.name)
         # Stripe the stream's workers over the shared endpoints, exactly
         # like the BIOS interleave the fluid flows model.
@@ -208,6 +211,33 @@ def run_point(
     raise ConfigurationError(
         f"unknown backend {backend!r} (choose from {', '.join(BACKENDS)})"
     )
+
+
+def run_point_traced(
+    platform: Platform,
+    arm: str,
+    seed: int = 0,
+    transactions_per_core: int = 40,
+    profiler_top_k: int = 4,
+):
+    """One traced DES cell: ``(NetPoint, TraceRecording, profiler report)``.
+
+    Tracing only observes the simulated clock, so the returned
+    :class:`NetPoint` is bit-identical to ``run_point(..., "des")`` with
+    the same arguments (asserted in the conformance suite). The attached
+    :class:`~repro.telemetry.profiler.FlowProfiler` receives one sample
+    per completed transaction keyed by the span's flow label, so spans
+    and profiler telemetry share flow identities.
+    """
+    from repro.telemetry.profiler import FlowProfiler
+    from repro.trace import Tracer
+
+    profiler = FlowProfiler(top_k=profiler_top_k)
+    tracer = Tracer(profiler=profiler)
+    point = _run_des(
+        platform, config_for(arm), seed, transactions_per_core, tracer=tracer
+    )
+    return point, tracer.recording(arm=arm), profiler.report()
 
 
 def run(

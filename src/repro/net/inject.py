@@ -65,8 +65,21 @@ class CreditGate:
         endpoint = path.stages[-1].name
         pool = self.scheduler.pool(endpoint, self.flow)
         lines = max(1, -(-txn.size_bytes // CACHELINE))
+        tracer = self.executor.env.tracer
+        span = None
+        if tracer is not None:
+            # The credit wait precedes the transaction's issue (the
+            # executor stamps ``issued_ns`` after the gate), so the span
+            # is a sibling recorded on the same track, not a child hop.
+            span = tracer.begin(
+                f"credits/{endpoint}", "wait",
+                f"{self.flow}/c{txn.src_core}",
+                flow=self.flow, size=txn.size_bytes,
+            )
         for __ in range(lines):
             yield pool.acquire()
+        if span is not None:
+            tracer.end(span)
         try:
             result = yield from self.executor.execute(txn, path)
         finally:

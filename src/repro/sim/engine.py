@@ -228,13 +228,18 @@ class Environment:
     — and therefore every simulation result — is identical either way.
     """
 
-    __slots__ = ("_now", "_queue", "_sequence", "strict")
+    __slots__ = ("_now", "_queue", "_sequence", "strict", "tracer")
 
     def __init__(self, initial_time: float = 0.0, strict: bool = False) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self.strict = bool(strict)
+        #: Optional :class:`repro.trace.Tracer`. ``None`` (the default) is
+        #: the null fast path: instrumented components branch on it once
+        #: per transaction and otherwise run the exact pre-tracing code.
+        #: The run loops never touch it, so tracing-off costs nothing.
+        self.tracer = None
 
     @property
     def now(self) -> float:

@@ -42,6 +42,15 @@ class FlowProfiler:
         self.first_ns: float | None = None
         self.last_ns = 0.0
 
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, top_k: int = 8
+    ) -> "FlowProfiler":
+        """A profiler whose sketch honours ``ε``/``δ`` overestimate bounds."""
+        profiler = cls(top_k=top_k, sketch_width=1, sketch_depth=1)
+        profiler.sketch = CountMinSketch.from_error_bounds(epsilon, delta)
+        return profiler
+
     def record(self, sample: FlowSample) -> None:
         """Account one flow event in the sketch and top-k set."""
         self.sketch.add(sample.flow, sample.size_bytes)
@@ -49,22 +58,33 @@ class FlowProfiler:
         if self.first_ns is None:
             self.first_ns = sample.t_ns
         self.last_ns = max(self.last_ns, sample.t_ns)
-        # Track candidates exactly; evict the smallest when over budget.
-        estimate = self.sketch.estimate(sample.flow)
-        self._heavy[sample.flow] = estimate
+        # Track candidates; estimates are re-queried at ranking time (a
+        # stored snapshot goes stale as later collisions raise the
+        # sketch's answer, under-reporting — and mis-evicting — flows).
+        self._heavy[sample.flow] = sample.size_bytes
         if len(self._heavy) > 4 * self.top_k:
             for flow, __ in heapq.nsmallest(
                 len(self._heavy) - 2 * self.top_k,
-                self._heavy.items(),
+                (
+                    (flow, self.sketch.estimate(flow))
+                    for flow in self._heavy
+                ),
                 key=lambda item: item[1],
             ):
                 del self._heavy[flow]
 
     def top_flows(self) -> List[Tuple[str, int]]:
-        """The heaviest flows as (name, bytes-estimate), descending."""
-        return heapq.nlargest(
-            self.top_k, self._heavy.items(), key=lambda item: item[1]
+        """The heaviest flows as (name, bytes-estimate), descending.
+
+        Estimates come fresh from the sketch, so each reported count is
+        the flow's current (never-under) estimate; ties rank by name for
+        run-to-run byte-identical reports.
+        """
+        ranked = sorted(
+            ((flow, self.sketch.estimate(flow)) for flow in self._heavy),
+            key=lambda item: (-item[1], item[0]),
         )
+        return ranked[: self.top_k]
 
     def flow_gbps(self, flow: str) -> float:
         """Average rate of one flow over the observed window."""

@@ -75,7 +75,24 @@ class CountMinSketch:
 
     def error_bound(self) -> float:
         """The ε·N overestimate bound implied by the current width/total."""
-        return math.e / self.width * self.total
+        return self.epsilon * self.total
+
+    @property
+    def epsilon(self) -> float:
+        """The per-estimate relative error the current width advertises.
+
+        ``from_error_bounds`` rounds the width *up*, so the advertised ε
+        here is at most the ε that sized the sketch — the bound callers
+        check against must come from the actual width, not the requested
+        ε, or a hand-sized sketch (plain constructor) would advertise no
+        bound at all.
+        """
+        return math.e / self.width
+
+    @property
+    def delta(self) -> float:
+        """Failure probability of the ε·N bound at the current depth."""
+        return math.exp(-self.depth)
 
     @property
     def memory_cells(self) -> int:

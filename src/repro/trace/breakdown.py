@@ -1,0 +1,240 @@
+"""Per-hop latency attribution from a trace recording.
+
+This is the report the paper's Table 2 hints at but end-to-end numbers
+cannot give: where each nanosecond of a transaction's latency is spent.
+Every transaction span's children are contiguous hop spans (token-pool
+waits, queued channel stages, the fixed propagation remainder), so
+
+* summing a transaction's hop durations reproduces its end-to-end latency
+  *exactly* (:func:`assert_tiles` checks the boundary floats, which are
+  copied, not re-derived);
+* aggregating hops by name decomposes a Table 2 row (or a Figure 4–6
+  contention run) into its constituent IOD/CCD/xGMI hops, each split into
+  calibrated unloaded *service* time and *queueing* excess.
+
+The queueing column is ``duration − calibrated unloaded service``; for
+media stages (UMC/CXL) the DRAM timing jitter lands in that excess
+alongside genuine queueing, which is the honest attribution — the
+calibration only pins the mean service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import render_table
+from repro.errors import MeasurementError, TopologyError
+from repro.trace.tracer import TraceRecording
+
+__all__ = [
+    "HopStat",
+    "hop_stats",
+    "txn_latency_stats",
+    "assert_tiles",
+    "render_breakdown",
+    "fill_counters",
+]
+
+#: Span categories that count as hops of a transaction.
+_HOP_CATS = ("wait", "hop")
+
+
+@dataclass(frozen=True)
+class HopStat:
+    """Aggregated attribution for one hop name across a recording."""
+
+    hop: str
+    count: int
+    bytes_moved: int
+    total_ns: float
+    service_ns: float
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    @property
+    def queue_ns(self) -> float:
+        """Total excess over calibrated unloaded service (queueing+jitter)."""
+        return self.total_ns - self.service_ns
+
+    @property
+    def mean_queue_ns(self) -> float:
+        return self.queue_ns / self.count if self.count else 0.0
+
+
+def hop_stats(recording: TraceRecording) -> List[HopStat]:
+    """Aggregate hop spans by name, in path (first-appearance) order."""
+    order: List[str] = []
+    count: Dict[str, int] = {}
+    moved: Dict[str, int] = {}
+    total: Dict[str, float] = {}
+    service: Dict[str, float] = {}
+    for span in recording.spans:
+        if span["cat"] not in _HOP_CATS:
+            continue
+        name = span["name"]
+        if name not in count:
+            order.append(name)
+            count[name] = 0
+            moved[name] = 0
+            total[name] = 0.0
+            service[name] = 0.0
+        args = span.get("args") or {}
+        count[name] += 1
+        moved[name] += int(args.get("size", 0))
+        total[name] += span["dur"]
+        service[name] += float(args.get("service_ns", 0.0))
+    return [
+        HopStat(name, count[name], moved[name], total[name], service[name])
+        for name in order
+    ]
+
+
+def txn_latency_stats(
+    recording: TraceRecording, skip_per_track: int = 0
+) -> Tuple[int, float]:
+    """(count, mean end-to-end ns) over transaction spans.
+
+    ``skip_per_track`` drops each track's first N transactions — the
+    warmup convention :class:`~repro.core.loadgen.ClosedLoopIssuer` uses,
+    so a trace-derived mean can be compared against the issuer's measured
+    statistics sample-for-sample.
+    """
+    seen: Dict[str, int] = {}
+    count = 0
+    total = 0.0
+    for span in recording.spans:
+        if span["cat"] != "txn":
+            continue
+        index = seen.get(span["track"], 0)
+        seen[span["track"]] = index + 1
+        if index < skip_per_track:
+            continue
+        count += 1
+        total += span["dur"]
+    if count == 0:
+        return 0, 0.0
+    return count, total / count
+
+
+def assert_tiles(recording: TraceRecording) -> int:
+    """Check that every transaction's hops tile it exactly; returns count.
+
+    For each transaction span the child hop spans (linked by ``parent``)
+    must be contiguous — each begins exactly where the previous ended —
+    and must start at the transaction's begin and finish at its end. All
+    comparisons are exact float equality: the boundaries are copies of
+    the same simulated-clock reads, so any inequality is a genuine
+    instrumentation gap, not rounding.
+    """
+    parents: Dict[int, Dict] = {}
+    children: Dict[int, List[Dict]] = {}
+    for span in recording.spans:
+        if span["cat"] == "txn":
+            parents[span["seq"]] = span
+            children.setdefault(span["seq"], [])
+        elif span.get("parent") is not None:
+            children.setdefault(span["parent"], []).append(span)
+    for seq, parent in parents.items():
+        hops = sorted(children.get(seq, []), key=lambda span: span["seq"])
+        if not hops:
+            raise MeasurementError(
+                f"transaction span {seq} ({parent['name']}) has no hop spans"
+            )
+        cursor = parent["ts"]
+        for hop in hops:
+            if hop["ts"] != cursor:
+                raise MeasurementError(
+                    f"hop {hop['name']} of txn {seq} begins at t={hop['ts']}"
+                    f" but the previous hop ended at t={cursor}"
+                )
+            cursor = hop["end"]
+        if cursor != parent["end"]:
+            raise MeasurementError(
+                f"txn {seq} ends at t={parent['end']} but its "
+                f"last hop ends at t={cursor}"
+            )
+    return len(parents)
+
+
+def _fmt_ns(value: float) -> str:
+    """Two-decimal nanoseconds; ULP-level negatives print as plain zero."""
+    text = f"{value:.2f}"
+    return "0.00" if text == "-0.00" else text
+
+
+def render_breakdown(title: str, recording: TraceRecording) -> str:
+    """The per-hop latency-attribution table for one recording."""
+    txns = assert_tiles(recording)
+    count, mean_ns = txn_latency_stats(recording)
+    stats = hop_stats(recording)
+    rows = []
+    for stat in stats:
+        per_txn = stat.total_ns / txns if txns else 0.0
+        rows.append([
+            stat.hop,
+            stat.count,
+            _fmt_ns(stat.mean_ns),
+            _fmt_ns(stat.service_ns / stat.count if stat.count else 0.0),
+            _fmt_ns(stat.mean_queue_ns),
+            _fmt_ns(per_txn),
+        ])
+    table = render_table(
+        ["hop", "spans", "mean ns", "service ns", "queue ns", "ns/txn"],
+        rows,
+        title=title,
+    )
+    # Hops that are children of transactions tile them exactly, so the
+    # per-txn column (minus non-child hops such as credit-gate waits,
+    # which happen before a transaction's issue) sums to the end-to-end
+    # mean by construction; print both so the report is self-checking.
+    attributed = sum(
+        stat.total_ns for stat in stats if not stat.hop.startswith("credits/")
+    )
+    lines = [
+        table,
+        (
+            f"transactions: {count} traced ({txns} spans), end-to-end mean "
+            f"{mean_ns:.2f} ns; attributed hop sum {attributed / txns if txns else 0.0:.2f} "
+            "ns/txn (tiles exactly)"
+        ),
+    ]
+    if recording.dropped_open:
+        lines.append(
+            f"warning: {recording.dropped_open} span(s) still open at "
+            "snapshot (excluded)"
+        )
+    return "\n".join(lines)
+
+
+def fill_counters(registry, platform, recording: TraceRecording) -> int:
+    """Replay hop spans into a CounterRegistry; returns transfers recorded.
+
+    Hop span names reuse the platform's link names (``if/ccd0``,
+    ``gmi/ccd0``, ``noc``, ``xgmi``, ...), so the same identities flow
+    through spans and counters. Hops that are not links (UMC/CXL servers,
+    token pools, the fixed remainder) are skipped.
+    """
+    recorded = 0
+    links = {}
+    for span in recording.spans:
+        if span["cat"] != "hop":
+            continue
+        args = span.get("args") or {}
+        size = args.get("size")
+        if not size:
+            continue
+        name = span["name"]
+        if name not in links:
+            try:
+                links[name] = platform.link(name)
+            except (TopologyError, KeyError):
+                links[name] = None
+        link = links[name]
+        if link is None:
+            continue
+        registry.record(link, int(size), bool(args.get("write", False)))
+        recorded += 1
+    return recorded

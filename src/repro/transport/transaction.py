@@ -27,11 +27,27 @@ class TransactionExecutor:
     per-transaction sanity: positive size, causal timestamps) and raises
     :class:`~repro.errors.SimulationError` naming the offending transaction;
     non-strict callers can audit at quiescence via :meth:`assert_conserved`.
+
+    When the environment carries a :class:`~repro.trace.Tracer`
+    (``env.tracer``), :meth:`execute` routes through a traced twin that
+    opens one span per transaction plus contiguous child spans per hop
+    (token waits, queued stages, the fixed remainder). The tracer only
+    reads the clock — traced and untraced runs are bit-identical — and
+    with tracing off the original loop runs unchanged after a single
+    ``is None`` check. ``flow`` optionally names the stream this executor
+    serves; spans (and profiler samples) carry it so telemetry and traces
+    share flow identities.
     """
 
-    def __init__(self, env: Environment, strict: bool = False) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        strict: bool = False,
+        flow: Optional[str] = None,
+    ) -> None:
         self.env = env
         self.strict = bool(strict)
+        self.flow = flow
         self.completed: List[Transaction] = []
         self.bytes_injected = 0
         self.bytes_delivered = 0
@@ -41,6 +57,9 @@ class TransactionExecutor:
         self, txn: Transaction, path: CompiledPath
     ) -> Generator[Event, None, Transaction]:
         """DES process: run one transaction end-to-end; returns it completed."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            return (yield from self._execute_traced(txn, path, tracer))
         if self.strict and txn.size_bytes <= 0:
             raise SimulationError(
                 f"transaction on {path.name}: non-positive size "
@@ -59,6 +78,76 @@ class TransactionExecutor:
             for pool in reversed(path.tokens):
                 pool.release()
         txn.completed_ns = self.env.now
+        self.bytes_in_flight -= txn.size_bytes
+        self.bytes_delivered += txn.size_bytes
+        self.completed.append(txn)
+        if self.strict:
+            if txn.completed_ns < txn.issued_ns:
+                raise SimulationError(
+                    f"transaction on {path.name}: completed at "
+                    f"t={txn.completed_ns} before its issue at "
+                    f"t={txn.issued_ns}"
+                )
+            self.assert_conserved(drained=False)
+        return txn
+
+    def _execute_traced(
+        self, txn: Transaction, path: CompiledPath, tracer
+    ) -> Generator[Event, None, Transaction]:
+        """Traced twin of :meth:`execute` — identical event sequence.
+
+        Span boundaries are reads of the same simulated clock the
+        untraced path advances, and the tracer schedules nothing, so the
+        simulation results are bit-identical with tracing on or off. The
+        hop spans are contiguous children of the transaction span: each
+        begins exactly where the previous ended, so their durations tile
+        the end-to-end latency exactly
+        (:func:`repro.trace.breakdown.assert_tiles`).
+        """
+        if self.strict and txn.size_bytes <= 0:
+            raise SimulationError(
+                f"transaction on {path.name}: non-positive size "
+                f"{txn.size_bytes} at t={self.env.now}"
+            )
+        track = (
+            f"{self.flow}/c{txn.src_core}"
+            if self.flow is not None
+            else f"core{txn.src_core}"
+        )
+        txn.issued_ns = self.env.now
+        self.bytes_injected += txn.size_bytes
+        self.bytes_in_flight += txn.size_bytes
+        is_write = txn.op.is_write
+        span = tracer.begin(
+            path.name, "txn", track,
+            size=txn.size_bytes, write=is_write,
+            flow=self.flow if self.flow is not None else track,
+        )
+        for pool in path.tokens:
+            hop = tracer.begin(f"tokens/{pool.name}", "wait", track, parent=span)
+            yield pool.acquire()
+            tracer.end(hop)
+        try:
+            for stage in path.stages:
+                hop = tracer.begin(stage.name, "hop", track, parent=span)
+                yield from stage.serve(txn.size_bytes, is_write)
+                tracer.end(
+                    hop,
+                    size=txn.size_bytes,
+                    write=is_write,
+                    service_ns=stage.unloaded_service_ns(txn.size_bytes, is_write),
+                )
+            hop = tracer.begin("fixed", "hop", track, parent=span)
+            yield self.env.timeout(path.fixed_ns)
+            tracer.end(hop, service_ns=path.fixed_ns)
+        finally:
+            for pool in reversed(path.tokens):
+                pool.release()
+        txn.completed_ns = self.env.now
+        tracer.end(span)
+        tracer.sample_flow(
+            self.flow if self.flow is not None else track, txn.size_bytes
+        )
         self.bytes_in_flight -= txn.size_bytes
         self.bytes_delivered += txn.size_bytes
         self.completed.append(txn)

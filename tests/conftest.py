@@ -13,6 +13,24 @@ from repro.platform.presets import epyc_7302, epyc_9634
 os.environ.setdefault("REPRO_CACHE", "0")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/goldens/*.json from the current simulator "
+            "output instead of comparing against it"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    """True when the run should rewrite golden snapshots, not check them."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def p7302():
     return epyc_7302()

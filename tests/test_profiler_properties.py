@@ -1,0 +1,151 @@
+"""Property tests for the count-min sketch and flow profiler.
+
+Only *guaranteed* invariants are asserted — never "collisions are
+unlikely" statements, which hypothesis would disprove by searching for
+colliding keys: a count-min estimate never under-counts, never exceeds
+the total, and the advertised ``ε·N`` bound follows from the actual
+width; the profiler's top-k report never under-reports a flow's bytes
+and never loses a flow while the candidate set fits its budget.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.telemetry.profiler import FlowProfiler, FlowSample  # noqa: E402
+from repro.telemetry.sketch import CountMinSketch  # noqa: E402
+
+#: (flow-name, byte-count) event streams. Few distinct names with repeats
+#: exercises accumulation; many names exercises collisions and eviction.
+_EVENTS = st.lists(
+    st.tuples(
+        st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=1 << 20),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _truth(events):
+    true = {}
+    for key, count in events:
+        true[key] = true.get(key, 0) + count
+    return true
+
+
+class TestSketchProperties:
+    @given(events=_EVENTS, width=st.integers(8, 256), depth=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_never_underestimates_never_exceeds_total(
+        self, events, width, depth
+    ):
+        sketch = CountMinSketch(width=width, depth=depth)
+        for key, count in events:
+            sketch.add(key, count)
+        true = _truth(events)
+        total = sum(count for __, count in events)
+        assert sketch.total == total
+        for key, exact in true.items():
+            estimate = sketch.estimate(key)
+            assert estimate >= exact
+            assert estimate <= total
+
+    @given(events=_EVENTS)
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_are_monotone_in_the_stream(self, events):
+        sketch = CountMinSketch(width=64, depth=4)
+        watched = events[0][0]
+        previous = 0
+        for key, count in events:
+            sketch.add(key, count)
+            current = sketch.estimate(watched)
+            assert current >= previous
+            previous = current
+
+    @given(
+        epsilon=st.floats(0.001, 0.9, allow_nan=False),
+        delta=st.floats(0.001, 0.9, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_from_error_bounds_honours_the_request(self, epsilon, delta):
+        sketch = CountMinSketch.from_error_bounds(epsilon, delta)
+        # The constructor rounds dimensions *up*, so the advertised
+        # parameters are at least as tight as requested.
+        assert sketch.epsilon <= epsilon + 1e-12
+        assert sketch.delta <= delta + 1e-12
+        assert sketch.width >= math.e / epsilon - 1
+        assert sketch.depth >= math.log(1.0 / delta) - 1
+
+    @given(events=_EVENTS)
+    @settings(max_examples=40, deadline=None)
+    def test_error_bound_tracks_the_actual_width(self, events):
+        sketch = CountMinSketch(width=32, depth=4)
+        for key, count in events:
+            sketch.add(key, count)
+        assert sketch.error_bound() == pytest.approx(
+            sketch.epsilon * sketch.total
+        )
+        assert sketch.epsilon == pytest.approx(math.e / 32)
+
+
+class TestProfilerProperties:
+    @given(events=_EVENTS, top_k=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_top_k_never_under_reports(self, events, top_k):
+        profiler = FlowProfiler(top_k=top_k, sketch_width=64, sketch_depth=4)
+        for t, (key, count) in enumerate(events):
+            profiler.record(FlowSample(key, count, float(t)))
+        true = _truth(events)
+        for flow, reported in profiler.top_flows():
+            assert reported >= true[flow]
+            # The report must be the sketch's *current* answer, not a
+            # stale snapshot from the flow's last record() call.
+            assert reported == profiler.sketch.estimate(flow)
+
+    @given(events=_EVENTS)
+    @settings(max_examples=60, deadline=None)
+    def test_all_flows_reported_when_they_fit(self, events):
+        true = _truth(events)
+        distinct = len(true)
+        profiler = FlowProfiler(top_k=max(1, distinct))
+        for t, (key, count) in enumerate(events):
+            profiler.record(FlowSample(key, count, float(t)))
+        reported = {flow for flow, __ in profiler.top_flows()}
+        assert reported == set(true)
+
+    @given(events=_EVENTS, top_k=st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_is_descending_and_deterministic(self, events, top_k):
+        profiler = FlowProfiler(top_k=top_k, sketch_width=64)
+        for t, (key, count) in enumerate(events):
+            profiler.record(FlowSample(key, count, float(t)))
+        top = profiler.top_flows()
+        estimates = [estimate for __, estimate in top]
+        assert estimates == sorted(estimates, reverse=True)
+        assert top == profiler.top_flows()
+        for (flow_a, est_a), (flow_b, est_b) in zip(top, top[1:]):
+            if est_a == est_b:
+                assert flow_a < flow_b  # ties break by name
+
+    def test_stale_estimate_regression(self):
+        """top_flows must re-query the sketch (the pre-fix failure mode).
+
+        With a width-1 sketch every key shares one counter, so any later
+        traffic raises every flow's current estimate; a stale snapshot
+        from record() time would under-report the first flow.
+        """
+        profiler = FlowProfiler(top_k=2, sketch_width=1, sketch_depth=1)
+        profiler.record(FlowSample("early", 10, 0.0))
+        profiler.record(FlowSample("later", 90, 1.0))
+        top = dict(profiler.top_flows())
+        assert top["early"] == profiler.sketch.estimate("early") == 100
+        assert top["later"] == 100
