@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke conformance coverage
+.PHONY: test bench bench-check lint verify chaos-smoke shard-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
@@ -17,7 +17,7 @@ test:
 bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
 		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py \
-		benchmarks/bench_trace.py -q
+		benchmarks/bench_trace.py benchmarks/bench_sharded_des.py -q
 
 # Append fresh samples to BENCH_results.json, then fail if any tracked
 # bench got >25% slower than its previous sample (2ms jitter floor).
@@ -58,3 +58,11 @@ chaos-smoke:
 	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro chaos --platform all \
 		--transactions 100 --timeout 60 --retries 1
 	@echo "chaos-smoke: OK"
+
+# A quick serial-vs-sharded engine comparison on the largest cell: runs
+# both engines end to end (window protocol, boundary messages, batched
+# recurrences) and prints the agreement table.
+shard-smoke:
+	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro sharded \
+		--platform 9634 --transactions 100 --no-cache
+	@echo "shard-smoke: OK"

@@ -2,8 +2,12 @@
 
 A cell is a pure function of its arguments (the runner's determinism
 contract), so its result can be keyed by *content*: the cache key is a
-SHA-256 over a canonical encoding of ``(code fingerprint, cell function,
-args, kwargs)``. The code fingerprint hashes every ``repro`` source file,
+SHA-256 over a canonical encoding of ``(code fingerprint, engine variant,
+cell function, args, kwargs)``. The engine variant
+(:func:`engine_variant`) captures the :data:`DES_SHARDS_ENV_VAR` switch,
+so serial and sharded runs of the same cell — different documented
+approximations — never share an entry.
+The code fingerprint hashes every ``repro`` source file,
 so any edit to the package invalidates the whole store — a hit can only
 ever return what re-running the cell would have produced.
 
@@ -41,12 +45,14 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CACHE_ENV_VAR",
+    "DES_SHARDS_ENV_VAR",
     "CacheStats",
     "ResultCache",
     "Uncacheable",
     "cache_enabled_by_env",
     "code_fingerprint",
     "default_cache",
+    "engine_variant",
     "set_default_cache",
     "stable_bytes",
 ]
@@ -58,9 +64,34 @@ CACHE_ENV_VAR = "REPRO_CACHE"
 #: Overrides the on-disk store location (default ``.repro-cache/``).
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Sharded-engine switch (see :mod:`repro.sim.sharded`): when set, DES
+#: experiment cells run on the sharded engine with this many shards. Part
+#: of every cache key via :func:`engine_variant`.
+DES_SHARDS_ENV_VAR = "REPRO_DES_SHARDS"
+
 _DEFAULT_ROOT = ".repro-cache"
 
 _FALSY = {"0", "off", "false", "no"}
+
+
+def engine_variant() -> Tuple[str, Any]:
+    """The DES engine variant the environment selects, as a key component.
+
+    ``("serial", 1)`` when :data:`DES_SHARDS_ENV_VAR` is unset or empty,
+    ``("sharded", N)`` when it names a shard count. A cell computed on one
+    engine variant must never satisfy a lookup for another — the sharded
+    engine is a documented approximation of the serial one, and its shard
+    count changes the partition — so this tuple is folded into every
+    cache key. An unparsable value keys on the raw string (a deliberate
+    miss, never an exception: the experiment layer owns validation).
+    """
+    raw = os.environ.get(DES_SHARDS_ENV_VAR, "").strip()
+    if not raw:
+        return ("serial", 1)
+    try:
+        return ("sharded", int(raw))
+    except ValueError:
+        return ("sharded", raw)
 
 
 class Uncacheable(Exception):
@@ -216,7 +247,9 @@ class ResultCache:
     ) -> Optional[str]:
         """Cache key for one cell, or None when any input is uncacheable."""
         try:
-            payload = stable_bytes((code_fingerprint(), fn, args, kwargs))
+            payload = stable_bytes(
+                (code_fingerprint(), engine_variant(), fn, args, kwargs)
+            )
         except Uncacheable:
             return None
         return hashlib.sha256(payload).hexdigest()

@@ -81,6 +81,20 @@ def _severity_arg(text: str) -> float:
     return value
 
 
+def _shards_arg(text: str) -> int:
+    """argparse type for --shards: a positive integer (range-checked later
+    against the platform's CCD count)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _samples_arg(text: str) -> int:
     """argparse type for --samples: an integer >= 10."""
     try:
@@ -236,6 +250,29 @@ def build_parser() -> argparse.ArgumentParser:
     netstack_cmd.add_argument(
         "--fail-fast", action="store_true",
         help="abort the comparison on the first cell that fails",
+    )
+    sharded_cmd = add(
+        "sharded",
+        "serial vs sharded DES engine on the contention cell",
+        platform_default="9634",
+    )
+    sharded_cmd.add_argument(
+        "--engine", default="both", choices=("serial", "sharded", "both"),
+        help="which engine(s) to run (default both, for the comparison)",
+    )
+    sharded_cmd.add_argument(
+        "--shards", type=_shards_arg, default=None, metavar="N",
+        help=(
+            "event-loop shards for the sharded engine (default: "
+            "$REPRO_DES_SHARDS, else one per CCD). Unlike --jobs — which "
+            "fans whole cells over processes — shards split one cell's "
+            "event loop and change its results within the documented "
+            "tolerance; shards=1 is bit-identical to serial"
+        ),
+    )
+    sharded_cmd.add_argument(
+        "--transactions", type=int, default=150,
+        help="closed-loop transactions per core (default 150)",
     )
     trace_cmd = add(
         "trace",
@@ -457,6 +494,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fail_fast=args.fail_fast,
             )
             out.append(netstack.render(platform.name, results))
+
+    elif args.command == "sharded":
+        from repro.experiments import sharded_cell
+
+        engines = (
+            sharded_cell.ENGINES if args.engine == "both" else (args.engine,)
+        )
+        for platform in _platforms_for(args.platform):
+            try:
+                results = sharded_cell.run(
+                    platform,
+                    engines=engines,
+                    shards=args.shards,
+                    seed=args.seed,
+                    transactions_per_core=args.transactions,
+                    jobs=jobs,
+                )
+            except ConfigurationError as error:
+                # An out-of-range shard count (or a bad REPRO_DES_SHARDS
+                # value) is a usage error, not a traceback.
+                build_parser().error(str(error))
+            out.append(sharded_cell.render(platform.name, results))
 
     elif args.command == "trace":
         from repro.experiments import trace as trace_exp

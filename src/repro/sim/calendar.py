@@ -1,0 +1,114 @@
+"""Numpy-backed event calendars: bulk scheduling of precomputed timestamps.
+
+A sharded run (:mod:`repro.sim.sharded`) knows large batches of future
+wakeups ahead of time — the chunk boundaries of a batched flow, telemetry
+ticks, window deadlines. Pushing each one through the engine's heap costs a
+``Timeout`` allocation plus an ``O(log n)`` heap push per event. An
+:class:`EventCalendar` instead sorts the whole batch once with numpy,
+buckets identical timestamps, and walks the buckets with a *single* live
+heap entry: when one bucket fires, the walker fires the user callback for
+every entry in the bucket and arms one timeout for the next distinct
+timestamp. ``n`` scheduled wakeups therefore cost ``O(n log n)`` vectorized
+sort work up front and only ``O(buckets)`` engine events — sorted ndarray
+buckets instead of per-event heap pushes.
+
+The calendar respects the engine's ordering contract: each bucket is one
+ordinary :class:`~repro.sim.engine.Timeout`, sequenced like any other event,
+and entries inside a bucket fire in their original (stable-sorted) input
+order within that single callback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import Environment, Event, Timeout
+
+__all__ = ["EventCalendar"]
+
+
+class _CalendarWalk:
+    """The chained walker: one armed timeout per *distinct* timestamp."""
+
+    __slots__ = ("env", "times", "order", "bounds", "on_fire", "done", "cursor")
+
+    def __init__(
+        self,
+        env: Environment,
+        times: np.ndarray,
+        order: np.ndarray,
+        bounds: np.ndarray,
+        on_fire: Callable[[float, np.ndarray], None],
+        done: Event,
+    ) -> None:
+        self.env = env
+        self.times = times       # sorted ascending
+        self.order = order       # original index of each sorted entry
+        self.bounds = bounds     # bucket boundaries into times/order
+        self.on_fire = on_fire
+        self.done = done
+        self.cursor = 0
+
+    def arm(self) -> None:
+        when = self.times[self.bounds[self.cursor]]
+        timer = Timeout(self.env, float(when) - self.env.now)
+        timer.callbacks.append(self._fire)
+
+    def _fire(self, _event: Event) -> None:
+        bounds = self.bounds
+        lo = bounds[self.cursor]
+        hi = bounds[self.cursor + 1]
+        self.cursor += 1
+        self.on_fire(self.env.now, self.order[lo:hi])
+        if self.cursor < len(bounds) - 1:
+            self.arm()
+        else:
+            self.done.succeed(int(self.times.size))
+
+
+class EventCalendar:
+    """Bulk-schedule an ndarray of future timestamps on one environment."""
+
+    __slots__ = ("env",)
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+
+    def schedule(
+        self,
+        times_ns,
+        on_fire: Callable[[float, np.ndarray], None],
+    ) -> Event:
+        """Schedule every timestamp in ``times_ns``; returns a completion event.
+
+        ``on_fire(now_ns, indices)`` runs once per distinct timestamp with
+        the ndarray of *original* indices that share it (stable input
+        order). The returned event succeeds with the total entry count
+        after the last bucket fires; an empty batch succeeds immediately.
+        Timestamps in the simulated past raise
+        :class:`~repro.errors.SimulationError`.
+        """
+        times = np.asarray(times_ns, dtype=float)
+        if times.ndim != 1:
+            raise SimulationError(
+                f"calendar expects a 1-D array of timestamps, got shape "
+                f"{times.shape}"
+            )
+        done = Event(self.env)
+        if times.size == 0:
+            return done.succeed(0)
+        if float(times.min()) < self.env.now:
+            raise SimulationError(
+                f"calendar timestamp {float(times.min())} is in the past "
+                f"(clock at t={self.env.now})"
+            )
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        # Bucket boundaries: every position where the timestamp changes.
+        changes = np.flatnonzero(np.diff(sorted_times) > 0) + 1
+        bounds = np.concatenate(([0], changes, [sorted_times.size]))
+        _CalendarWalk(self.env, sorted_times, order, bounds, on_fire, done).arm()
+        return done

@@ -17,7 +17,14 @@ from repro.trace.breakdown import (
     txn_latency_stats,
 )
 from repro.trace.export import chrome_trace, dumps, event_count
-from repro.trace.tracer import NULL_TRACER, NullTracer, Span, TraceRecording, Tracer
+from repro.trace.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecording,
+    Tracer,
+    merge_recordings,
+)
 
 __all__ = [
     "Tracer",
@@ -25,6 +32,7 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "TraceRecording",
+    "merge_recordings",
     "chrome_trace",
     "dumps",
     "event_count",

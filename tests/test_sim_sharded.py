@@ -1,0 +1,356 @@
+"""Tier-1 tests for the sharded engine stack.
+
+Covers the engine's shard-stable sequence progression, the numpy event
+calendar, the conservative window loop (lookahead guard, deterministic
+boundary merge, telemetry), the batched closed-loop recurrences against
+brute force, the CCD shard map, trace merging, and the cache-key engine
+variant. The cross-engine agreement sweeps live in the conformance tier
+(``tests/test_conformance_sharded.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import ResultCache, engine_variant
+from repro.core.partition import ccd_shard_map
+from repro.core.shardexec import contention_flows, jain_index, run_cell
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.batch import (
+    BatchFlow,
+    BatchLane,
+    BatchPool,
+    BatchStage,
+    fifo_departures,
+    simulate_closed_loops,
+)
+from repro.sim.calendar import EventCalendar
+from repro.sim.engine import Environment, Timeout
+from repro.sim.sharded import ShardedEnvironment, default_lookahead_ns
+from repro.trace import Tracer, merge_recordings
+
+
+# ------------------------------------------------- shard-stable sequences
+
+
+class TestShardStableSequences:
+    @staticmethod
+    def _next_seq(env):
+        Timeout(env, 0.0)
+        return env._sequence
+
+    def test_default_progression_is_serial(self):
+        env = Environment()
+        assert [self._next_seq(env) for _ in range(3)] == [1, 2, 3]
+
+    def test_offset_step_progression(self):
+        env = Environment(seq_offset=2, seq_step=5)
+        assert [self._next_seq(env) for _ in range(3)] == [7, 12, 17]
+
+    def test_shard_progressions_are_disjoint(self):
+        n = 4
+        envs = [Environment(seq_offset=i, seq_step=n) for i in range(n)]
+        seqs = [
+            self._next_seq(env) for env in envs for _ in range(10)
+        ]
+        assert len(set(seqs)) == len(seqs)
+
+    def test_invalid_offset_raises(self):
+        with pytest.raises(SimulationError):
+            Environment(seq_offset=3, seq_step=2)
+        with pytest.raises(SimulationError):
+            Environment(seq_offset=-1)
+
+
+# ------------------------------------------------------------- calendar
+
+
+class TestEventCalendar:
+    def test_fires_buckets_in_order_with_grouped_indices(self):
+        env = Environment()
+        times = np.array([5.0, 1.0, 5.0, 3.0, 1.0])
+        fired = []
+        done = EventCalendar(env).schedule(
+            times, lambda now, idx: fired.append((now, sorted(idx.tolist())))
+        )
+        env.run()
+        assert done.triggered and done.value == 5
+        assert fired == [(1.0, [1, 4]), (3.0, [3]), (5.0, [0, 2])]
+
+    def test_one_timeout_per_bucket(self):
+        env = Environment()
+        times = np.repeat(np.arange(1.0, 6.0), 200)
+        EventCalendar(env).schedule(times, lambda now, idx: None)
+        events = 0
+        while env._queue:
+            env.step()
+            events += 1
+        # 5 distinct timestamps -> 5 timer events + 5 bucket-done events at
+        # most (chained arming), three orders below the 1000 wakeups.
+        assert events <= 11
+
+    def test_empty_and_past_times(self):
+        env = Environment(initial_time=10.0)
+        done = EventCalendar(env).schedule([], lambda now, idx: None)
+        assert done.triggered and done.value == 0
+        with pytest.raises(SimulationError):
+            EventCalendar(env).schedule([5.0], lambda now, idx: None)
+
+
+# ------------------------------------------------------- batch recurrences
+
+
+def _brute_force_fifo(arrivals, service, servers):
+    """Event-by-event reference for the lag-``servers`` recurrence."""
+    free = [0.0] * servers
+    out = []
+    for arrival in arrivals:
+        free.sort()
+        begin = max(arrival, free[0])
+        free[0] = begin + service
+        out.append(begin + service)
+    return out
+
+
+class TestBatchRecurrences:
+    @pytest.mark.parametrize("servers", [1, 2, 3, 7])
+    def test_fifo_departures_matches_brute_force(self, servers):
+        rng = np.random.default_rng(7)
+        arrivals = np.sort(rng.uniform(0.0, 50.0, size=64))
+        got = fifo_departures(arrivals, 3.5, servers=servers)
+        want = _brute_force_fifo(arrivals, 3.5, servers)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_fifo_departures_validation(self):
+        with pytest.raises(ConfigurationError):
+            fifo_departures([2.0, 1.0], 1.0)
+        with pytest.raises(ConfigurationError):
+            fifo_departures([1.0], -1.0)
+        with pytest.raises(ConfigurationError):
+            fifo_departures([1.0], 1.0, servers=0)
+
+    def test_single_lane_matches_vectorized_recurrence(self):
+        stage = BatchStage("s", 1)
+        pool = BatchPool("p", 4)
+        lane = BatchLane(
+            stages=((stage, 2.0),), pools=(pool,), fixed_ns=1.0, quota=50
+        )
+        flow = BatchFlow("f", [lane], size_bytes=64)
+        timing = simulate_closed_loops([flow])["f"]
+        # One lane, one server: issues chase completions, so arrivals are
+        # the previous completion and the recurrence collapses to a ramp.
+        assert timing.completed_ns.shape == (50,)
+        np.testing.assert_allclose(np.diff(timing.completed_ns), 3.0)
+
+    def test_pacing_gate_never_falls_behind(self):
+        stage = BatchStage("s", 8)
+        lanes = [
+            BatchLane(stages=((stage, 1.0),), pools=(), fixed_ns=0.0, quota=10)
+            for _ in range(4)
+        ]
+        flow = BatchFlow("f", lanes, size_bytes=64, interval_ns=5.0)
+        timing = simulate_closed_loops([flow])["f"]
+        issued = np.sort(timing.issued_ns)
+        assert np.all(np.diff(issued) >= 5.0 - 1e-9)
+
+    def test_warmup_skip_is_per_lane(self):
+        stage = BatchStage("s", 2)
+        lanes = [
+            BatchLane(stages=((stage, 1.0),), pools=(), fixed_ns=0.0, quota=5)
+            for _ in range(2)
+        ]
+        flow = BatchFlow("f", lanes, size_bytes=64, warmup_skip=2)
+        timing = simulate_closed_loops([flow])["f"]
+        assert int(timing.counted.sum()) == 2 * (5 - 2)
+
+
+# ------------------------------------------------------------ window loop
+
+
+class TestShardedEnvironment:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ShardedEnvironment(0, 1.0)
+        with pytest.raises(SimulationError):
+            ShardedEnvironment(2, 0.0)
+
+    def test_cross_shard_message_delivered_at_barrier(self):
+        sharded = ShardedEnvironment(2, lookahead_ns=10.0)
+        a, b = sharded.shards
+        got = []
+        b.on_message(lambda message: got.append((b.now, message.payload)))
+        Timeout(a, 5.0).callbacks.append(
+            lambda _event: a.send(1, "hello")
+        )
+        Timeout(b, 100.0)  # keep shard 1's queue alive past delivery
+        sharded.run()
+        assert got == [(15.0, "hello")]
+        assert sharded.cross_messages == 1
+        assert sharded.windows >= 1
+
+    def test_delay_below_lookahead_raises(self):
+        sharded = ShardedEnvironment(2, lookahead_ns=10.0)
+        with pytest.raises(SimulationError):
+            sharded.send(0, 1, "x", delay_ns=9.0)
+        with pytest.raises(SimulationError):
+            sharded.send(0, 2, "x")
+
+    def test_intra_shard_send_bypasses_barrier(self):
+        sharded = ShardedEnvironment(2, lookahead_ns=10.0)
+        a = sharded.shard(0)
+        got = []
+        a.on_message(lambda message: got.append(a.now))
+        sharded.send(0, 0, "local", delay_ns=2.0)
+        sharded.run()
+        assert got == [2.0]
+        assert sharded.cross_messages == 0
+
+    def test_deterministic_boundary_merge(self):
+        """Same-time deliveries merge by (deliver, src shard, seq)."""
+        sharded = ShardedEnvironment(3, lookahead_ns=10.0)
+        order = []
+        target = sharded.shard(2)
+        target.on_message(lambda message: order.append(message.payload))
+        # Sent from shards 1 then 0, both arriving at t=10.
+        sharded.send(1, 2, "from1")
+        sharded.send(0, 2, "from0")
+        Timeout(target, 50.0)
+        sharded.run()
+        assert order == ["from0", "from1"]
+
+    def test_horizon_run_matches_serial_semantics(self):
+        sharded = ShardedEnvironment(2, lookahead_ns=10.0)
+        fired = []
+        for shard_id, shard in enumerate(sharded.shards):
+            for when in (3.0, 7.0, 12.0):
+                Timeout(shard, when).callbacks.append(
+                    lambda _e, s=shard_id, w=when: fired.append((s, w))
+                )
+        sharded.run(until=7.0)
+        assert sorted(fired) == [(0, 3.0), (0, 7.0), (1, 3.0), (1, 7.0)]
+        assert sharded.now == 7.0
+
+    def test_single_shard_delegates_with_event_horizon(self):
+        sharded = ShardedEnvironment(1, lookahead_ns=10.0)
+        env = sharded.shard(0)
+        timer = Timeout(env, 4.0)
+        sharded.run(until=timer)
+        assert env.now == 4.0
+        with pytest.raises(SimulationError):
+            ShardedEnvironment(2, lookahead_ns=1.0).run(
+                until=Timeout(env, 1.0)
+            )
+
+
+# ---------------------------------------------------------- shard mapping
+
+
+class TestCcdShardMap:
+    def test_contiguous_balanced_blocks(self, p9634):
+        mapping = ccd_shard_map(p9634, 4)
+        assert sorted(mapping) == sorted(p9634.ccds)
+        assert set(mapping.values()) == {0, 1, 2, 3}
+        ordered = [mapping[ccd] for ccd in sorted(mapping)]
+        assert ordered == sorted(ordered)  # contiguous blocks
+        sizes = [ordered.count(s) for s in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self, p7302):
+        with pytest.raises(ConfigurationError):
+            ccd_shard_map(p7302, 0)
+        with pytest.raises(ConfigurationError):
+            ccd_shard_map(p7302, len(p7302.ccds) + 1)
+
+
+# ------------------------------------------------------------ cell runner
+
+
+class TestRunCell:
+    def test_unknown_engine_raises(self, p7302):
+        with pytest.raises(ConfigurationError):
+            run_cell(p7302, engine="quantum")
+
+    def test_single_shard_is_fingerprint_identical(self, p7302):
+        serial = run_cell(p7302, engine="serial", transactions_per_core=40)
+        one = run_cell(
+            p7302, engine="sharded", shards=1, transactions_per_core=40
+        )
+        assert one.engine == "sharded" and one.shards == 1
+        assert one.fingerprint() == serial.fingerprint()
+
+    def test_multi_shard_conserves_transactions(self, p7302):
+        serial = run_cell(p7302, engine="serial", transactions_per_core=40)
+        multi = run_cell(
+            p7302, engine="sharded", shards=2, transactions_per_core=40
+        )
+        assert multi.transactions == serial.transactions
+        assert multi.sync["shards"] == 2
+        assert multi.sync["cross_messages"] > 0
+        assert multi.sync["lookahead_ns"] == default_lookahead_ns(p7302)
+
+    def test_contention_flows_cover_all_ccds(self, p9634):
+        flows = contention_flows(p9634)
+        assert len(flows) == len(p9634.ccds)
+        assert flows[0].name == "victim"
+        assert flows[0].demand_gbps is not None
+
+    def test_jain_index(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 0.0]) == pytest.approx(0.5)
+        assert jain_index([0.0, 0.0]) == 1.0
+
+
+# ------------------------------------------------------------ trace merge
+
+
+class TestMergeRecordings:
+    def _recording(self, offset):
+        env = Environment(initial_time=offset)
+        tracer = Tracer(env)
+        parent = tracer.begin("txn", "txn", f"track{offset}")
+        child = tracer.begin("hop", "hop", f"track{offset}", parent=parent)
+        env._now = offset + 1.0
+        tracer.end(child)
+        tracer.end(parent)
+        return tracer.recording(shard=offset)
+
+    def test_merge_is_deterministic_and_collision_free(self):
+        a, b = self._recording(0.0), self._recording(0.0)
+        merged = merge_recordings([a, b])
+        seqs = [span["seq"] for span in merged.spans]
+        assert len(set(seqs)) == len(seqs)
+        assert merged.meta["merged"] == 2
+        assert merge_recordings([a, b]).spans == merged.spans
+
+    def test_parent_links_survive_remapping(self):
+        merged = merge_recordings([self._recording(0.0), self._recording(5.0)])
+        seqs = {span["seq"] for span in merged.spans}
+        for span in merged.spans:
+            if span["parent"] is not None:
+                assert span["parent"] in seqs
+
+    def test_empty_merge(self):
+        merged = merge_recordings([])
+        assert merged.spans == () and merged.meta["merged"] == 0
+
+
+# ------------------------------------------------------------- cache keys
+
+
+class TestEngineVariantKeys:
+    def test_variant_tracks_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DES_SHARDS", raising=False)
+        assert engine_variant() == ("serial", 1)
+        monkeypatch.setenv("REPRO_DES_SHARDS", "4")
+        assert engine_variant() == ("sharded", 4)
+        monkeypatch.setenv("REPRO_DES_SHARDS", "bogus")
+        assert engine_variant() == ("sharded", "bogus")
+
+    def test_keys_split_on_engine_variant(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        monkeypatch.delenv("REPRO_DES_SHARDS", raising=False)
+        serial_key = cache.key_for(jain_index, ((1.0, 2.0),), {})
+        monkeypatch.setenv("REPRO_DES_SHARDS", "2")
+        sharded_key = cache.key_for(jain_index, ((1.0, 2.0),), {})
+        monkeypatch.setenv("REPRO_DES_SHARDS", "4")
+        four_key = cache.key_for(jain_index, ((1.0, 2.0),), {})
+        assert len({serial_key, sharded_key, four_key}) == 3
