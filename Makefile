@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke shard-smoke conformance coverage
+.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
@@ -17,7 +17,8 @@ test:
 bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
 		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py \
-		benchmarks/bench_trace.py benchmarks/bench_sharded_des.py -q
+		benchmarks/bench_trace.py benchmarks/bench_sharded_des.py \
+		benchmarks/bench_recovery.py -q
 
 # Append fresh samples to BENCH_results.json, then fail if any tracked
 # bench got >25% slower than its previous sample (2ms jitter floor).
@@ -58,6 +59,14 @@ chaos-smoke:
 	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro chaos --platform all \
 		--transactions 100 --timeout 60 --retries 1
 	@echo "chaos-smoke: OK"
+
+# The failover comparison end to end: a permanent cross-die link
+# failure with recovery off vs on, on both backends — detection, credit
+# reclamation, retransmission, and failover in one CLI run.
+chaos-recover-smoke:
+	timeout 180 env PYTHONPATH=src $(PYTHON) -m repro chaos --platform all \
+		--severity 0 --transactions 50 --recover --no-cache
+	@echo "chaos-recover-smoke: OK"
 
 # A quick serial-vs-sharded engine comparison on the largest cell: runs
 # both engines end to end (window protocol, boundary messages, batched

@@ -46,6 +46,7 @@ __all__ = [
     "CACHE_DIR_ENV_VAR",
     "CACHE_ENV_VAR",
     "DES_SHARDS_ENV_VAR",
+    "RECOVERY_ENV_VAR",
     "CacheStats",
     "ResultCache",
     "Uncacheable",
@@ -53,6 +54,7 @@ __all__ = [
     "code_fingerprint",
     "default_cache",
     "engine_variant",
+    "recovery_variant",
     "set_default_cache",
     "stable_bytes",
 ]
@@ -68,6 +70,12 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 #: experiment cells run on the sharded engine with this many shards. Part
 #: of every cache key via :func:`engine_variant`.
 DES_SHARDS_ENV_VAR = "REPRO_DES_SHARDS"
+
+#: Recovery-layer switch (see :mod:`repro.net.recovery`): when truthy, fault
+#: experiments run with the fault-reactive recovery layer enabled. Part of
+#: every cache key via :func:`recovery_variant`, so recovery-on and
+#: recovery-off cells can never collide in the content-addressed store.
+RECOVERY_ENV_VAR = "REPRO_NET_RECOVERY"
 
 _DEFAULT_ROOT = ".repro-cache"
 
@@ -92,6 +100,21 @@ def engine_variant() -> Tuple[str, Any]:
         return ("sharded", int(raw))
     except ValueError:
         return ("sharded", raw)
+
+
+def recovery_variant() -> Tuple[str, Any]:
+    """The recovery-layer variant the environment selects, as a key component.
+
+    ``("recovery", "off")`` when :data:`RECOVERY_ENV_VAR` is unset or
+    falsy, ``("recovery", <raw value>)`` otherwise. Recovery changes what a
+    fault experiment measures (detection, reclamation, failover), so its
+    cells must never satisfy lookups from the fault-oblivious stack; the
+    raw value keys any future tuning knobs encoded in the variable.
+    """
+    raw = os.environ.get(RECOVERY_ENV_VAR, "").strip()
+    if not raw or raw.lower() in _FALSY:
+        return ("recovery", "off")
+    return ("recovery", raw)
 
 
 class Uncacheable(Exception):
@@ -248,7 +271,10 @@ class ResultCache:
         """Cache key for one cell, or None when any input is uncacheable."""
         try:
             payload = stable_bytes(
-                (code_fingerprint(), engine_variant(), fn, args, kwargs)
+                (
+                    code_fingerprint(), engine_variant(), recovery_variant(),
+                    fn, args, kwargs,
+                )
             )
         except Uncacheable:
             return None

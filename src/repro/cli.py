@@ -218,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=0,
         help="retry attempts per failed cell (default 0)",
     )
+    chaos_cmd.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "also run the failover comparison: a permanent cross-die link "
+            "failure with fault-reactive recovery off vs on, per backend "
+            "(detection, credit reclamation, retransmission, failover)"
+        ),
+    )
     chaos_mode = chaos_cmd.add_mutually_exclusive_group()
     chaos_mode.add_argument(
         "--fail-fast", action="store_true",
@@ -477,6 +486,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fail_fast=args.fail_fast,
             )
             out.append(chaos.render(platform.name, results))
+            from repro.net.recovery import recovery_enabled_by_env
+
+            if args.recover or recovery_enabled_by_env():
+                recovery_results = chaos.run_recovery(
+                    platform,
+                    seed=args.seed,
+                    jobs=jobs,
+                    timeout_s=args.timeout,
+                    retries=args.retries,
+                    fail_fast=args.fail_fast,
+                )
+                out.append(
+                    chaos.render_recovery(platform.name, recovery_results)
+                )
 
     elif args.command == "netstack":
         from repro.experiments import netstack

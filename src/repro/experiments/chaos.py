@@ -28,18 +28,31 @@ recovery), so one pathological severity cannot take down the sweep.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
 from repro.core.fabric import FabricModel
 from repro.core.flows import Scope, StreamSpec
+from repro.core.loadgen import ClosedLoopIssuer
 from repro.core.microbench import MicroBench
+from repro.errors import ConfigurationError
 from repro.experiments.contention import (
     VICTIM_DEMAND_GBPS,
     contention_streams,
+    shared_umc_ids,
 )
+from repro.faults.inject import install as install_faults
 from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.fluid.solver import Policy, solve
+from repro.net.recovery import (
+    FailoverRouter,
+    RecoveryConfig,
+    fluid_health,
+    install as install_recovery,
+)
+from repro.net.stack import NetStackConfig
 from repro.platform.topology import Platform
 from repro.runner import (
     Cell,
@@ -47,11 +60,16 @@ from repro.runner import (
     USE_DEFAULT_CACHE,
     run_cells_detailed,
 )
+from repro.sim.engine import Environment, Event
 from repro.transport.message import OpKind
+from repro.transport.path import CompiledPath, PathResolver
+from repro.transport.transaction import TransactionExecutor
 
 __all__ = [
     "ChaosPoint", "SEVERITIES", "default_schedule", "run_point", "run",
     "render",
+    "RecoveryPoint", "recovery_schedule", "run_recovery_point",
+    "run_recovery", "render_recovery",
 ]
 
 #: Default severity sweep: healthy first, then deepening degradation.
@@ -203,4 +221,391 @@ def render(platform_name: str, results: Sequence[CellResult]) -> str:
     return render_table(
         headers, rows,
         title=f"Chaos sweep: graceful degradation ({platform_name})",
+    )
+
+
+# --------------------------------------------------------------------------
+# Recovery sweep (``repro chaos --recover``): collapse, then recovery.
+#
+# One clean failure scenario instead of the severity mix above: the victim
+# chiplet stripes its paced demand over its NPS4 memory endpoints, and at
+# ``_REC_FAIL_T_NS`` the cross-die path to the first endpoint permanently
+# fails (lane-failure residue ``_REC_FAIL_FACTOR``). Without recovery the
+# workers homed there strand — throughput collapses to the surviving
+# endpoints plus the dead link's trickle, and stays there. With recovery the
+# monitors declare the endpoint dead, stranded credits reclaim home, stuck
+# transactions retransmit over failover paths, and the post-failure
+# steady-state share returns to ~1× pre-failure. Both backends run both
+# arms, from the same schedule and the same health state machine.
+# --------------------------------------------------------------------------
+
+#: When the cross-die path to the victim's first NPS4 endpoint fails (ns).
+_REC_FAIL_T_NS = 1500.0
+
+#: Lane-failure capacity residue of the failed link.
+_REC_FAIL_FACTOR = 0.05
+
+#: Pre-failure measurement window (ns): inside warm steady state, clear of
+#: both the cold start and the failure instant.
+_REC_PRE_WINDOW = (400.0, 1400.0)
+
+#: Post-failure steady-state window (ns): past detection (~2.2 µs), credit
+#: reclamation and the retransmission of every stranded attempt.
+_REC_POST_WINDOW = (3200.0, 5600.0)
+
+#: Fluid probe instant for the post-failure solve (mid post window).
+_REC_FLUID_POST_T_NS = 4000.0
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """One (backend, recovery arm) cell of the failover comparison."""
+
+    backend: str
+    recover: bool
+    pre_gbps: float
+    post_gbps: float
+    #: Post-failure steady-state throughput as a fraction of pre-failure.
+    recovered: float
+    #: Simulated time the monitor declared the endpoint dead (NaN: never).
+    detect_ns: float
+    reclaimed: int
+    retries: int
+    failovers: int
+
+
+def recovery_schedule(seed: int = 0) -> FaultSchedule:
+    """The recovery scenario: one permanent cross-die endpoint failure."""
+    return FaultSchedule(
+        [
+            FaultEvent.failure(
+                "umc0:r", start=_REC_FAIL_T_NS, factor=_REC_FAIL_FACTOR
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def _victim_cell(platform: Platform) -> Tuple[List[int], List[int], float]:
+    """(victim core ids, NPS4 endpoint ids, per-worker paced rate)."""
+    victim, __ = contention_streams(platform)
+    cores = list(victim.core_ids)
+    shared = sorted(shared_umc_ids(platform))
+    return cores, shared, VICTIM_DEMAND_GBPS / len(cores)
+
+
+class _DeliveryMeter:
+    """A passive executor shim counting delivered bytes per endpoint.
+
+    Sits between the gate and the real executor so both recovery arms are
+    measured identically: bytes count at completion, against the endpoint
+    that actually served the transaction (failover retries count at their
+    failover endpoint).
+    """
+
+    def __init__(self, env: Environment, inner: TransactionExecutor) -> None:
+        self.env = env
+        self.inner = inner
+        self.delivered: Dict[str, int] = {}
+
+    def execute(self, txn, path: CompiledPath) -> Generator[Event, None, object]:
+        result = yield from self.inner.execute(txn, path)
+        endpoint = path.stages[-1].name
+        self.delivered[endpoint] = (
+            self.delivered.get(endpoint, 0) + txn.size_bytes
+        )
+        return result
+
+    def total(self) -> int:
+        return sum(self.delivered.values())
+
+
+def _sample_at(
+    env: Environment, times: Sequence[float], read, out: Dict[float, int]
+) -> Generator[Event, None, None]:
+    """Record ``read()`` at each simulated time in ``times`` (sorted)."""
+    for t in sorted(times):
+        if t > env.now:
+            yield env.timeout(t - env.now)
+        out[t] = read()
+
+
+def _window_gbps(marks: Dict[float, int], window: Tuple[float, float]) -> float:
+    start, end = window
+    return (marks[end] - marks[start]) / (end - start)
+
+
+def _fluid_worker_tput(
+    platform: Platform,
+    homes: Dict[int, str],
+    cores: Sequence[int],
+    rate_each: float,
+    derates: Optional[Dict[str, float]] = None,
+) -> float:
+    """Aggregate victim throughput with each worker homed per ``homes``.
+
+    One paced single-core stream per worker, striped onto its (possibly
+    rerouted) endpoint, all solved together on the (possibly degraded)
+    fabric — the fluid counterpart of the DES recovery cell.
+    """
+    fabric = FabricModel(platform, derates=derates or None)
+    flows = []
+    for index, core_id in enumerate(cores):
+        spec = StreamSpec(
+            f"w{index}", OpKind.READ, (core_id,), demand_gbps=rate_each
+        )
+        umc_id = int(homes[index][len("umc"):])
+        flows.extend(fabric.flows_for(spec, umc_ids=[umc_id]))
+    allocation = solve(flows, Policy.DEMAND_PROPORTIONAL)
+    return sum(allocation.values())
+
+
+def _initial_homes(cores: Sequence[int], shared: Sequence[int]) -> Dict[int, str]:
+    """Stripe the workers over the NPS4 endpoint set, netstack-style."""
+    return {
+        index: f"umc{shared[index % len(shared)]}"
+        for index in range(len(cores))
+    }
+
+
+def _fluid_recovery(
+    platform: Platform, recover: bool, seed: int
+) -> RecoveryPoint:
+    schedule = recovery_schedule(seed=seed)
+    config = RecoveryConfig.on()
+    cores, shared, rate_each = _victim_cell(platform)
+    homes = _initial_homes(cores, shared)
+    endpoints = [f"umc{u}" for u in shared]
+
+    pre = _fluid_worker_tput(platform, homes, cores, rate_each)
+    post_derates = dict(schedule.derates_at(_REC_FLUID_POST_T_NS))
+    detect = math.nan
+    failovers = 0
+    if recover:
+        monitor = fluid_health(
+            platform, schedule, config, endpoints,
+            until_ns=_REC_POST_WINDOW[0],
+        )
+        detect = monitor.detect_ns("umc0")
+        if detect is None:
+            detect = math.nan
+        router = FailoverRouter(platform, monitor)
+        for index in range(len(cores)):
+            for umc_id in sorted(platform.umcs):
+                router.register(
+                    index, f"umc{umc_id}",
+                    primary=(f"umc{umc_id}" == homes[index]),
+                    slice_gbps=rate_each,
+                )
+        for index in sorted(homes):
+            if monitor.is_dead(homes[index]):
+                rerouted = router.reroute(index)
+                if rerouted is not None:
+                    homes[index] = rerouted[0]
+                    failovers += 1
+        # Health-aware capacity masking: the dead link keeps only its
+        # residue in the post-failure solve.
+        for channel, factor in monitor.capacity_mask().items():
+            post_derates[channel] = min(
+                post_derates.get(channel, 1.0), factor
+            )
+    post = _fluid_worker_tput(
+        platform, homes, cores, rate_each, derates=post_derates
+    )
+    return RecoveryPoint(
+        backend="fluid",
+        recover=recover,
+        pre_gbps=pre,
+        post_gbps=post,
+        recovered=post / pre,
+        detect_ns=detect,
+        reclaimed=0,
+        retries=0,
+        failovers=failovers,
+    )
+
+
+def _des_recovery(
+    platform: Platform,
+    recover: bool,
+    seed: int,
+    transactions_per_core: int,
+) -> RecoveryPoint:
+    schedule = recovery_schedule(seed=seed)
+    cores, shared, rate_each = _victim_cell(platform)
+    homes = _initial_homes(cores, shared)
+    endpoints = [f"umc{u}" for u in shared]
+
+    env = Environment()
+    resolver = PathResolver(env, platform, seed=seed)
+    install_faults(resolver, schedule)
+    stack = NetStackConfig.with_credits()
+    recovery = RecoveryConfig.on() if recover else RecoveryConfig.off()
+    installation = install_recovery(
+        resolver, stack, recovery,
+        flows=["victim"], endpoints=endpoints, seed=seed,
+    )
+    executor = TransactionExecutor(env, flow="victim")
+    meter = _DeliveryMeter(env, executor)
+    if recover:
+        homed_gbps: Dict[str, float] = {}
+        for index, core_id in enumerate(cores):
+            for umc_id in sorted(platform.umcs):
+                endpoint = f"umc{umc_id}"
+                installation.router.register(
+                    index, endpoint,
+                    path=resolver.dram_path(core_id, umc_id),
+                    primary=(endpoint == homes[index]),
+                    slice_gbps=rate_each,
+                )
+            homed_gbps[homes[index]] = (
+                homed_gbps.get(homes[index], 0.0) + rate_each
+            )
+        for endpoint in endpoints:
+            umc_id = int(endpoint[len("umc"):])
+            installation.watch(
+                endpoint,
+                homed_gbps.get(endpoint, 0.0),
+                probe_path=resolver.dram_path(cores[0], umc_id),
+            )
+        installation.start()
+
+    window = platform.spec.bandwidth.mlp_read
+    finished = []
+    for index, core_id in enumerate(cores):
+        if recover:
+            gate = installation.gate(meter, "victim", worker=index)
+        else:
+            gate = installation.gate(meter, "victim")
+        umc_id = int(homes[index][len("umc"):])
+        path = resolver.dram_path(core_id, umc_id)
+        issuer = ClosedLoopIssuer(
+            env,
+            gate,
+            lambda worker, path=path: path,
+            OpKind.READ,
+            workers=1,
+            window=window,
+            count_per_worker=transactions_per_core,
+            rate_gbps=rate_each,
+        )
+        finished.append(issuer.start())
+    marks: Dict[float, int] = {}
+    boundaries = sorted(set(_REC_PRE_WINDOW) | set(_REC_POST_WINDOW))
+    env.process(_sample_at(env, boundaries, meter.total, marks))
+    env.run(env.all_of(finished))
+    if recover:
+        installation.stop()
+    # Drain: abandoned wrecks trickling through the dead link, the last
+    # probes, and the monitors' exit all land before quiescence — then the
+    # extended conservation invariant must hold.
+    env.run()
+    installation.assert_credits_home()
+
+    pre = _window_gbps(marks, _REC_PRE_WINDOW)
+    post = _window_gbps(marks, _REC_POST_WINDOW)
+    if recover:
+        stats = installation.stats
+        detect = installation.health.detect_ns("umc0")
+        return RecoveryPoint(
+            backend="des",
+            recover=True,
+            pre_gbps=pre,
+            post_gbps=post,
+            recovered=post / pre,
+            detect_ns=math.nan if detect is None else detect,
+            reclaimed=stats.reclaimed_credits,
+            retries=stats.retries,
+            failovers=stats.failovers,
+        )
+    return RecoveryPoint(
+        backend="des",
+        recover=False,
+        pre_gbps=pre,
+        post_gbps=post,
+        recovered=post / pre,
+        detect_ns=math.nan,
+        reclaimed=0,
+        retries=0,
+        failovers=0,
+    )
+
+
+def run_recovery_point(
+    platform: Platform,
+    backend: str,
+    recover: bool,
+    seed: int = 0,
+    transactions_per_core: int = 600,
+) -> RecoveryPoint:
+    """One (backend, arm) recovery cell (independent, runner-friendly)."""
+    if backend == "fluid":
+        return _fluid_recovery(platform, recover, seed)
+    if backend == "des":
+        return _des_recovery(platform, recover, seed, transactions_per_core)
+    raise ConfigurationError(
+        f"unknown backend {backend!r} (choose from fluid, des)"
+    )
+
+
+def run_recovery(
+    platform: Platform,
+    seed: int = 0,
+    transactions_per_core: int = 600,
+    jobs=None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    fail_fast: bool = False,
+    cache=USE_DEFAULT_CACHE,
+) -> List[CellResult]:
+    """Both backends × both recovery arms through the hardened runner."""
+    cells = [
+        Cell(
+            run_recovery_point,
+            (platform, backend, recover),
+            dict(seed=seed, transactions_per_core=transactions_per_core),
+        )
+        for backend in ("fluid", "des")
+        for recover in (False, True)
+    ]
+    return run_cells_detailed(
+        cells, jobs=jobs, timeout_s=timeout_s, retries=retries,
+        fail_fast=fail_fast, cache=cache,
+    )
+
+
+def render_recovery(platform_name: str, results: Sequence[CellResult]) -> str:
+    """The collapse-then-recovery table, one row per (backend, arm)."""
+    headers = [
+        "backend", "recovery", "pre GB/s", "post GB/s", "post/pre",
+        "detect ns", "reclaimed", "retries", "failovers",
+    ]
+    rows = []
+    for result in results:
+        if result.ok:
+            point = result.value
+            rows.append([
+                point.backend,
+                "on" if point.recover else "off",
+                f"{point.pre_gbps:.2f}",
+                f"{point.post_gbps:.2f}",
+                f"{point.recovered:.3f}",
+                "-" if math.isnan(point.detect_ns)
+                else f"{point.detect_ns:.0f}",
+                f"{point.reclaimed}",
+                f"{point.retries}",
+                f"{point.failovers}",
+            ])
+        else:
+            rows.append([
+                f"cell {result.index}",
+                f"FAILED ({result.failure.kind})",
+                "-", "-", "-", "-", "-", "-", "-",
+            ])
+    return render_table(
+        headers, rows,
+        title=(
+            "Chaos recovery: permanent cross-die link failure "
+            f"({platform_name})"
+        ),
     )

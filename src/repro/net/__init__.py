@@ -9,6 +9,9 @@ The reproduction's other packages *diagnose* the paper's idiosyncrasies
 (:class:`~repro.net.stack.NetStackConfig`) that realizes identically on
 both backends — :func:`~repro.net.stack.fluid_allocation` for steady state,
 :func:`~repro.net.inject.install` for the discrete-event simulator.
+:mod:`repro.net.recovery` closes the loop with :mod:`repro.faults`:
+link-health detection, credit reclamation through permanent failures,
+deadline/backoff retransmission, and health-aware failover.
 """
 
 from repro.net.credits import (
@@ -30,6 +33,21 @@ from repro.net.qos import (
     class_credit_scales,
     class_weights,
 )
+from repro.net.recovery import (
+    FailoverRouter,
+    HealthMonitor,
+    HealthTransition,
+    LinkHealth,
+    ReclaimableTokenPool,
+    ReclaimingCreditScheduler,
+    RecoveryConfig,
+    RecoveryGate,
+    RecoveryInstallation,
+    RecoveryStats,
+    fluid_health,
+    recovery_enabled_by_env,
+)
+from repro.net.recovery import install as install_recovery
 from repro.net.stack import NetStackConfig, fluid_allocation
 
 __all__ = [
@@ -53,4 +71,17 @@ __all__ = [
     "class_weights",
     "NetStackConfig",
     "fluid_allocation",
+    "FailoverRouter",
+    "HealthMonitor",
+    "HealthTransition",
+    "LinkHealth",
+    "ReclaimableTokenPool",
+    "ReclaimingCreditScheduler",
+    "RecoveryConfig",
+    "RecoveryGate",
+    "RecoveryInstallation",
+    "RecoveryStats",
+    "fluid_health",
+    "install_recovery",
+    "recovery_enabled_by_env",
 ]

@@ -72,6 +72,7 @@ class MultipathSelector:
         platform: Platform,
         registry: Optional[CounterRegistry] = None,
         window_ns: float = 1.0e6,
+        health=None,
     ) -> None:
         if window_ns <= 0:
             raise ConfigurationError(
@@ -80,6 +81,22 @@ class MultipathSelector:
         self.platform = platform
         self.registry = registry if registry is not None else CounterRegistry()
         self.window_ns = window_ns
+        #: Optional :class:`repro.net.recovery.HealthMonitor` (duck-typed:
+        #: ``is_dead(endpoint)``). When set, DEAD endpoints leave the
+        #: candidate sets and split weights until their probes revive them.
+        self.health = health
+
+    def _alive(self, umc_ids: Sequence[int]) -> List[int]:
+        """Filter a candidate set by health; all-dead falls back to all.
+
+        The fallback keeps the selector total: a partition with zero
+        healthy candidates still needs *some* striping decision, and
+        routing into a dead link beats routing into nothing.
+        """
+        if self.health is None:
+            return list(umc_ids)
+        alive = [u for u in umc_ids if not self.health.is_dead(f"umc{u}")]
+        return alive if alive else list(umc_ids)
 
     # -------------------------------------------------------------- telemetry
 
@@ -135,7 +152,7 @@ class MultipathSelector:
                 umc_id,
             )
 
-        return sorted(self.platform.umcs, key=key)
+        return sorted(self._alive(sorted(self.platform.umcs)), key=key)
 
     def pick_umcs(
         self, ccd_id: int, count: int, is_write: bool = False
@@ -161,15 +178,23 @@ class MultipathSelector:
                 raise TopologyError(
                     f"{self.platform.name} has no UMC {umc_id}"
                 )
+        alive = self._alive(umc_ids)
         residual = {}
         for umc_id in umc_ids:
+            if umc_id not in alive:
+                # Dead endpoint: zero split weight until probes revive it.
+                residual[umc_id] = 0.0
+                continue
             link = self.platform.link(f"umc{umc_id}")
             headroom = 1.0 - self.utilization(f"umc{umc_id}", is_write)
             residual[umc_id] = link.capacity(is_write) * max(0.0, headroom)
         total = sum(residual.values())
         if total <= _EPS:
             # Every candidate saturated (or no telemetry contrast): stripe
-            # evenly rather than dividing by ~zero.
-            share = 1.0 / len(umc_ids)
-            return {umc_id: share for umc_id in umc_ids}
+            # evenly over the live ones rather than dividing by ~zero.
+            share = 1.0 / len(alive)
+            return {
+                umc_id: (share if umc_id in alive else 0.0)
+                for umc_id in umc_ids
+            }
         return {umc_id: value / total for umc_id, value in residual.items()}

@@ -71,12 +71,22 @@ class AdmissionController:
         limiters = control.limiters()                # enforcement buckets
     """
 
-    def __init__(self, fabric: FabricModel) -> None:
+    def __init__(self, fabric: FabricModel, health=None) -> None:
         self.fabric = fabric
+        #: Optional :class:`repro.net.recovery.HealthMonitor` (duck-typed:
+        #: ``is_dead(endpoint)``). A DEAD channel offers zero admission
+        #: headroom until its probes revive it.
+        self.health = health
         #: Admitted guarantee per flow name.
         self._rates: Dict[str, float] = {}
         #: Channel load (GB/s) each admitted flow commits, by flow name.
         self._loads: Dict[str, Dict[str, float]] = {}
+
+    def _channel_dead(self, channel: str) -> bool:
+        if self.health is None:
+            return False
+        base, __, ___ = channel.partition(":")
+        return self.health.is_dead(base)
 
     # ---------------------------------------------------------------- queries
 
@@ -90,9 +100,32 @@ class AdmissionController:
         return sum(loads.get(channel, 0.0) for loads in self._loads.values())
 
     def headroom_gbps(self, channel: str) -> float:
-        """Capacity of ``channel`` not yet promised to admitted flows."""
+        """Capacity of ``channel`` not yet promised to admitted flows.
+
+        A channel whose endpoint the health monitor has declared DEAD
+        offers no headroom at all — new guarantees cannot be promised
+        against capacity that is not being served.
+        """
+        if self._channel_dead(channel):
+            return 0.0
         capacity = self.fabric.channel(channel).capacity_gbps
         return max(0.0, capacity - self.committed_gbps(channel))
+
+    def revalidate(self) -> Dict[str, float]:
+        """Flows whose guarantees now ride a DEAD channel, by flow name.
+
+        The controller never silently revokes an admitted guarantee —
+        control-plane policy belongs to the caller. This reports which
+        admitted flows are committed on channels the health monitor has
+        since declared dead, so the caller can :meth:`release` and
+        re-:meth:`admit` them over the surviving paths (re-admission after
+        a flapping link returns is the same call with health healthy).
+        """
+        stranded: Dict[str, float] = {}
+        for name, loads in self._loads.items():
+            if any(self._channel_dead(channel) for channel in loads):
+                stranded[name] = self._rates[name]
+        return stranded
 
     # ------------------------------------------------------------- admission
 

@@ -94,6 +94,11 @@ class ShardEnvironment(Environment):
         self._handlers: List[Callable[[ShardMessage], None]] = []
 
     @property
+    def coordinator(self) -> "ShardedEnvironment":
+        """The owning coordinator (interposers use it to check shard count)."""
+        return self._coordinator
+
+    @property
     def next_event_ns(self) -> Optional[float]:
         """Timestamp of the earliest queued event, or None when idle."""
         return self._queue[0][0] if self._queue else None

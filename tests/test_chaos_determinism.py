@@ -1,0 +1,81 @@
+"""``repro chaos`` determinism: byte-identical output for any --jobs/cache.
+
+The chaos sweep and its recovery comparison run through the hardened
+runner: every cell is a pure function of its arguments, results come back
+in submission order, and the renderer is deterministic — so stdout must
+be byte-identical whether cells ran inline, fanned out over worker
+processes, or came back from the content-addressed result cache. The
+``--recover`` cells ride the same contract (the backoff jitter is a
+seeded SplitRng stream, not wall-clock randomness).
+"""
+
+import pytest
+
+from repro.cli import main
+
+_ARGS = [
+    "chaos", "--platform", "7302", "--severity", "0.5",
+    "--transactions", "40", "--recover",
+]
+
+
+def _run(capsys, tag, *extra):
+    assert main([*_ARGS, *extra]) == 0
+    return capsys.readouterr().out
+
+
+class TestJobsInvariance:
+    @pytest.mark.parametrize("jobs", ["2", "4"])
+    def test_stdout_identical_across_jobs(self, capsys, jobs):
+        baseline = _run(capsys, "j1", "--jobs", "1")
+        fanned = _run(capsys, f"j{jobs}", "--jobs", jobs)
+        assert fanned == baseline
+        assert "Chaos recovery" in baseline
+        assert "Chaos sweep" in baseline
+
+
+class TestCacheInvariance:
+    def test_cache_miss_then_hit_byte_identical(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cold = _run(capsys, "miss")  # populates the cache
+        warm = _run(capsys, "hit", "--jobs", "3")
+        assert warm == cold
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        uncached = _run(capsys, "nocache")
+        assert uncached == cold
+
+    def test_no_cache_flag_matches_cached(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cached = _run(capsys, "cached")
+        flagged = _run(capsys, "flagged", "--no-cache")
+        assert flagged == cached
+
+
+class TestRecoveryTable:
+    def test_recover_flag_adds_the_failover_table(self, capsys):
+        without = _run(capsys, "plain", "--no-cache")
+        assert "Chaos recovery" in without
+        assert main(["chaos", "--platform", "7302", "--severity", "0.5",
+                     "--transactions", "40", "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert "Chaos recovery" not in plain
+        # The severity sweep itself is unchanged by --recover.
+        assert plain.split("Chaos recovery")[0] in without
+
+    def test_recovery_rows_tell_the_story(self, capsys):
+        out = _run(capsys, "story", "--no-cache")
+        recovery = out.split("Chaos recovery", 1)[1]
+        lines = [l for l in recovery.splitlines() if "|" in l]
+        rows = {
+            (cells[0], cells[1]): cells
+            for cells in (
+                [c.strip() for c in line.split("|")] for line in lines[1:]
+            )
+        }
+        for backend in ("fluid", "des"):
+            collapsed = float(rows[(backend, "off")][4])
+            recovered = float(rows[(backend, "on")][4])
+            assert collapsed < 0.8, (backend, collapsed)
+            assert recovered >= 0.8, (backend, recovered)

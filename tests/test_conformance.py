@@ -285,3 +285,62 @@ class TestTracedBitIdentity:
             fault_schedule=FaultSchedule([]),
         )
         assert healthy.stats == null.stats
+
+
+# --------------------------------------------------------- recovery agreement
+
+#: Acceptance criterion of the recovery loop: after a permanent cross-die
+#: link failure, the victim's post-failure steady-state throughput must
+#: return to at least this fraction of pre-failure — on both backends, on
+#: every preset.
+RECOVERED_FLOOR = 0.8
+
+#: Cross-backend agreement window (ns) on the DEAD detection time: the
+#: fluid monitor samples the schedule's capacity factors, the DES waits
+#: out real in-service deadlines first, so the DES trails by up to a
+#: couple of service timeouts.
+DETECT_AGREEMENT_NS = 700.0
+
+
+class TestRecoveryConformance:
+    """Both backends must tell the same collapse-then-recovery story."""
+
+    def test_recovery_restores_the_victim_on_every_preset(self, preset):
+        from repro.experiments import chaos
+
+        for backend in ("fluid", "des"):
+            collapsed = chaos.run_recovery_point(preset, backend, False)
+            recovered = chaos.run_recovery_point(preset, backend, True)
+            # Same scenario, same pre-failure throughput.
+            assert recovered.pre_gbps == pytest.approx(
+                collapsed.pre_gbps, rel=1e-9
+            )
+            # Without recovery the failure sticks; with it, the victim
+            # returns to >= 80% of pre-failure steady state.
+            assert collapsed.recovered < RECOVERED_FLOOR, (
+                preset.name, backend, collapsed.recovered
+            )
+            assert recovered.recovered >= RECOVERED_FLOOR, (
+                preset.name, backend, recovered.recovered
+            )
+
+    def test_detection_times_agree_across_backends(self, preset):
+        from repro.experiments import chaos
+
+        fluid = chaos.run_recovery_point(preset, "fluid", True)
+        des = chaos.run_recovery_point(preset, "des", True)
+        assert fluid.detect_ns == fluid.detect_ns  # not NaN
+        assert des.detect_ns == des.detect_ns
+        # The fluid verdict (schedule telemetry) leads; the DES (real
+        # in-service deadlines) follows within the documented window.
+        assert fluid.detect_ns <= des.detect_ns
+        assert des.detect_ns - fluid.detect_ns <= DETECT_AGREEMENT_NS
+
+    def test_only_the_des_reclaims_real_credits(self, preset):
+        from repro.experiments import chaos
+
+        fluid = chaos.run_recovery_point(preset, "fluid", True)
+        des = chaos.run_recovery_point(preset, "des", True)
+        assert fluid.reclaimed == 0  # no event loop, no stranded leases
+        assert des.reclaimed > 0  # real stranded credits went home
+        assert des.retries > 0 and des.failovers > 0

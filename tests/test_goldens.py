@@ -27,6 +27,7 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
 _TABLE2_ITERATIONS = 300
 _NETSTACK_TXNS = 60
 _TRACE_TXNS = 20
+_RECOVERY_TXNS = 600
 
 
 def _check(name: str, payload, update: bool) -> None:
@@ -151,3 +152,27 @@ class TestGoldens:
             ],
         }
         _check("trace-breakdown-epyc-7302", payload, update_goldens)
+
+    def test_chaos_recovery_cells(self, p7302, update_goldens):
+        from repro.experiments import chaos
+
+        payload = {}
+        for backend in ("fluid", "des"):
+            for recover in (False, True):
+                point = chaos.run_recovery_point(
+                    p7302, backend, recover,
+                    transactions_per_core=_RECOVERY_TXNS,
+                )
+                payload[f"{backend}/{'on' if recover else 'off'}"] = {
+                    "pre_gbps": point.pre_gbps,
+                    "post_gbps": point.post_gbps,
+                    "recovered": point.recovered,
+                    "detect_ns": (
+                        None if math.isnan(point.detect_ns)
+                        else point.detect_ns
+                    ),
+                    "reclaimed": point.reclaimed,
+                    "retries": point.retries,
+                    "failovers": point.failovers,
+                }
+        _check("chaos-recovery-epyc-7302", payload, update_goldens)
