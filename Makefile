@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke conformance coverage
+.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke serve-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
@@ -75,3 +75,11 @@ shard-smoke:
 	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro sharded \
 		--platform 9634 --transactions 100 --no-cache
 	@echo "shard-smoke: OK"
+
+# The persistent simulation service end to end: `repro serve` as a real
+# daemon, a netstack batch submitted twice (the resubmission must be
+# >=90% warm-cache hits and byte-identical to the --local fallback),
+# then a protocol-driven shutdown that must leave nothing behind.
+serve-smoke:
+	timeout 180 env PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+	@echo "serve-smoke: OK"

@@ -1,0 +1,86 @@
+"""Service-layer benchmarks: submit latency and warm-sweep throughput.
+
+Both timings land in ``BENCH_results.json`` via
+:func:`conftest.record_timing`. The server runs in-process on a
+:class:`~repro.service.server.ServiceThread` so the numbers measure the
+service stack itself — NDJSON framing, scheduling, the async bridge, and
+the cache probe — not daemon spawn time. Ceilings are generous: they
+catch order-of-magnitude regressions, not scheduler jitter.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+"""
+
+import shutil
+import tempfile
+import time
+
+#: Never-exceed ceilings (seconds) — the cold submit runs real DES cells.
+FIRST_RESULT_CEILING_S = 60.0
+WARM_SWEEP_CEILING_S = 10.0
+
+_SPEC = {
+    "kind": "netstack",
+    "platform": "synthetic",
+    "params": {"transactions_per_core": 60},
+}
+
+
+def bench_service_submit_roundtrip(record_timing):
+    """Submit-to-first-result latency, cold and warm, plus warm throughput.
+
+    One server, one client, the same netstack batch twice: the cold pass
+    times how long a submission takes to stream its first cell result
+    (scheduling + dispatch + one real cell, or a cache hit); the warm
+    pass resubmits against the now-warm store, where every cell must
+    resolve as a hit — that sweep's wall clock is the service's pure
+    bookkeeping cost per cached cell.
+    """
+    from repro.cache import ResultCache
+    from repro.service import ServiceClient, ServiceThread
+
+    workdir = tempfile.mkdtemp(prefix="reprosvc-bench-", dir="/tmp")
+    try:
+        socket_path = f"{workdir}/svc.sock"
+        cache = ResultCache(f"{workdir}/cache")
+        with ServiceThread(
+            socket_path, cache=cache, artifacts_dir=f"{workdir}/artifacts"
+        ):
+            def timed_submit(label):
+                first = []
+
+                def on_event(frame):
+                    if frame.get("event") == "cell" and not first:
+                        first.append(time.perf_counter() - started)
+
+                with ServiceClient(socket_path, client=label) as client:
+                    started = time.perf_counter()
+                    outcome = client.submit(_SPEC, on_event=on_event)
+                total = time.perf_counter() - started
+                assert outcome.status == "done" and not outcome.failures
+                return first[0], total, outcome
+
+            cold_first, cold_total, cold = timed_submit("bench-cold")
+            warm_first, warm_total, warm = timed_submit("bench-warm")
+
+        cells = len(warm.results)
+        assert cells == len(cold.results) > 0
+        # The warm pass is the satellite's >=90% bar, at 100%: every cell
+        # resolves from the store the cold pass populated.
+        assert warm.hits == cells
+        assert warm.render() == cold.render()
+
+        record_timing(
+            "service_submit_first_result_cold", cold_first,
+            total_seconds=cold_total, cells=cells,
+        )
+        record_timing(
+            "service_submit_first_result_warm", warm_first,
+            total_seconds=warm_total, cells=cells,
+            cells_per_second=cells / warm_total,
+        )
+        assert cold_first < FIRST_RESULT_CEILING_S
+        assert warm_total < WARM_SWEEP_CEILING_S
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -1,0 +1,123 @@
+"""End-to-end smoke test for the persistent simulation service.
+
+Exercises the full daemon lifecycle the way CI and a developer would:
+
+1. start ``repro serve`` as a real subprocess on a fresh Unix socket,
+2. submit a netstack batch, then submit the identical batch again,
+3. assert the resubmission is served almost entirely from the warm
+   cache (>= 90% hits) and that both artifacts are byte-identical to
+   the in-process ``--local`` fallback,
+4. shut the daemon down through the protocol and assert a clean exit:
+   exit code 0, socket unlinked, no orphaned worker processes.
+
+Run via ``make serve-smoke`` (or directly)::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service import ServiceClient, server_available, submit_or_local
+
+#: The batch: every netstack arm on the synthetic platform, kept small
+#: enough that the cold pass finishes in seconds on one CPU.
+SPEC = {
+    "kind": "netstack",
+    "platform": "synthetic",
+    "params": {"transactions_per_core": 60},
+}
+
+START_DEADLINE_S = 30.0
+SHUTDOWN_DEADLINE_S = 30.0
+HIT_FLOOR = 0.90
+
+
+def fail(message):
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    # Unix socket paths are limited to ~108 bytes, so anchor under /tmp
+    # rather than wherever $TMPDIR points.
+    workdir = tempfile.mkdtemp(prefix="reprosvc-smoke-", dir="/tmp")
+    socket_path = os.path.join(workdir, "svc.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    env["REPRO_CACHE"] = "1"
+    env["REPRO_CACHE_DIR"] = os.path.join(workdir, "cache")
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path,
+            "--artifacts-dir", os.path.join(workdir, "artifacts"),
+        ],
+        env=env,
+    )
+    try:
+        deadline = time.monotonic() + START_DEADLINE_S
+        while not server_available(socket_path):
+            if server.poll() is not None:
+                fail(f"server exited early with code {server.returncode}")
+            if time.monotonic() > deadline:
+                fail("server did not start listening in time")
+            time.sleep(0.1)
+        print(f"serve-smoke: server up on {socket_path}")
+
+        with ServiceClient(socket_path, client="smoke") as client:
+            cold = client.submit(SPEC)
+        if cold.status != "done" or cold.failures:
+            fail(f"cold submit: status={cold.status} failures={cold.failures}")
+        cells = len(cold.results)
+        print(
+            f"serve-smoke: cold submit {cold.job_id}: {cells} cells, "
+            f"{cold.hits} hits"
+        )
+
+        with ServiceClient(socket_path, client="smoke") as client:
+            warm = client.submit(SPEC)
+        if warm.status != "done" or warm.failures:
+            fail(f"warm submit: status={warm.status} failures={warm.failures}")
+        hit_rate = warm.hits / cells
+        print(
+            f"serve-smoke: warm submit {warm.job_id}: {warm.hits}/{cells} "
+            f"hits ({hit_rate:.0%}), {warm.precached} precached"
+        )
+        if hit_rate < HIT_FLOOR:
+            fail(f"warm hit rate {hit_rate:.0%} below {HIT_FLOOR:.0%}")
+
+        # Byte-identity: the served artifact must match the in-process
+        # fallback exactly (cache off so the local run really computes).
+        local = submit_or_local(SPEC, prefer_local=True, cache=None)
+        if not (cold.render() == warm.render() == local.render()):
+            fail("served artifact differs from the local fallback")
+        print("serve-smoke: served artifact byte-identical to --local")
+
+        with ServiceClient(socket_path, client="smoke") as client:
+            client.shutdown()
+        code = server.wait(timeout=SHUTDOWN_DEADLINE_S)
+        if code != 0:
+            fail(f"server exited with code {code} after shutdown")
+        if os.path.exists(socket_path):
+            fail("socket file left behind after shutdown")
+        print("serve-smoke: clean shutdown, socket unlinked")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,12 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import json
 import os
 import pickle
 import struct
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
 
@@ -51,6 +53,7 @@ __all__ = [
     "ResultCache",
     "Uncacheable",
     "cache_enabled_by_env",
+    "cell_key",
     "code_fingerprint",
     "default_cache",
     "engine_variant",
@@ -82,7 +85,7 @@ _DEFAULT_ROOT = ".repro-cache"
 _FALSY = {"0", "off", "false", "no"}
 
 
-def engine_variant() -> Tuple[str, Any]:
+def engine_variant(raw: Optional[str] = None) -> Tuple[str, Any]:
     """The DES engine variant the environment selects, as a key component.
 
     ``("serial", 1)`` when :data:`DES_SHARDS_ENV_VAR` is unset or empty,
@@ -92,8 +95,14 @@ def engine_variant() -> Tuple[str, Any]:
     count changes the partition — so this tuple is folded into every
     cache key. An unparsable value keys on the raw string (a deliberate
     miss, never an exception: the experiment layer owns validation).
+
+    ``raw`` substitutes for the environment variable's value: the service
+    computes keys for a job's *requested* variant without mutating the
+    process environment a concurrently running batch depends on.
     """
-    raw = os.environ.get(DES_SHARDS_ENV_VAR, "").strip()
+    if raw is None:
+        raw = os.environ.get(DES_SHARDS_ENV_VAR, "")
+    raw = raw.strip()
     if not raw:
         return ("serial", 1)
     try:
@@ -102,7 +111,7 @@ def engine_variant() -> Tuple[str, Any]:
         return ("sharded", raw)
 
 
-def recovery_variant() -> Tuple[str, Any]:
+def recovery_variant(raw: Optional[str] = None) -> Tuple[str, Any]:
     """The recovery-layer variant the environment selects, as a key component.
 
     ``("recovery", "off")`` when :data:`RECOVERY_ENV_VAR` is unset or
@@ -110,11 +119,44 @@ def recovery_variant() -> Tuple[str, Any]:
     fault experiment measures (detection, reclamation, failover), so its
     cells must never satisfy lookups from the fault-oblivious stack; the
     raw value keys any future tuning knobs encoded in the variable.
+    ``raw`` substitutes for the environment value, exactly as in
+    :func:`engine_variant`.
     """
-    raw = os.environ.get(RECOVERY_ENV_VAR, "").strip()
+    if raw is None:
+        raw = os.environ.get(RECOVERY_ENV_VAR, "")
+    raw = raw.strip()
     if not raw or raw.lower() in _FALSY:
         return ("recovery", "off")
     return ("recovery", raw)
+
+
+def cell_key(
+    fn: Any,
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+    *,
+    engine_raw: Optional[str] = None,
+    recovery_raw: Optional[str] = None,
+) -> Optional[str]:
+    """Content-address one cell: SHA-256 over its canonical encoding.
+
+    The key covers the code fingerprint, the engine and recovery variants
+    (from the environment unless ``engine_raw``/``recovery_raw`` override
+    them), and the cell itself. None when any input has no stable encoding
+    — such a cell is uncacheable *and* un-dedupable, never an error.
+    """
+    try:
+        payload = stable_bytes(
+            (
+                code_fingerprint(),
+                engine_variant(engine_raw),
+                recovery_variant(recovery_raw),
+                fn, args, kwargs,
+            )
+        )
+    except Uncacheable:
+        return None
+    return hashlib.sha256(payload).hexdigest()
 
 
 class Uncacheable(Exception):
@@ -189,10 +231,24 @@ def _encode(value: Any, out: list) -> None:
             _encode(getattr(value, field.name), out)
         out.append(b")")
     elif callable(value) and hasattr(value, "__qualname__"):
+        # Callables are identified by *importable* name. Lambdas and nested
+        # functions all share one qualname per definition site, so keying
+        # them by name would make distinct closures collide (in the cache
+        # and in batch dedup) — they are uncacheable instead. A bound
+        # method's identity includes its receiver.
         module = getattr(value, "__module__", None)
+        qualname = value.__qualname__
         if module is None:
             raise Uncacheable(f"callable without a module: {value!r}")
-        _encode((module, value.__qualname__), out)
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise Uncacheable(
+                f"callable is not module-level (no stable identity): {value!r}"
+            )
+        receiver = getattr(value, "__self__", None)
+        if receiver is not None:
+            _encode((module, qualname, receiver), out)
+        else:
+            _encode((module, qualname), out)
     elif type(value).__module__ == "numpy" and hasattr(value, "tobytes"):
         # ndarrays and numpy scalars, without importing numpy here.
         dtype = getattr(value, "dtype", None)
@@ -239,15 +295,34 @@ def code_fingerprint() -> str:
 # ------------------------------------------------------------------- store
 
 
+#: Subdirectory of the store holding persisted per-run counter records.
+_STATS_DIRNAME = "_stats"
+
+
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Snapshot of one store plus this process's hit/miss counters."""
+    """Snapshot of one store plus hit/miss/byte counters.
+
+    ``entries``/``bytes`` are recomputed from disk on every call, so
+    entries written by *other* processes mid-run are counted the moment
+    they land. ``hits``/``misses``/``bytes_read``/``bytes_written`` are
+    this process's live counters; the ``recorded_*`` fields aggregate the
+    per-run records persisted by :meth:`ResultCache.record_run` — the
+    store's lifetime accounting across every process that used it.
+    """
 
     root: str
     entries: int
     bytes: int
     hits: int
     misses: int
+    bytes_read: int = 0
+    bytes_written: int = 0
+    recorded_runs: int = 0
+    recorded_hits: int = 0
+    recorded_misses: int = 0
+    recorded_bytes_read: int = 0
+    recorded_bytes_written: int = 0
 
 
 class ResultCache:
@@ -264,34 +339,50 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._recorded = (0, 0, 0, 0)
 
     def key_for(
-        self, fn: Any, args: Tuple[Any, ...], kwargs: Dict[str, Any]
+        self,
+        fn: Any,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+        *,
+        engine_raw: Optional[str] = None,
+        recovery_raw: Optional[str] = None,
     ) -> Optional[str]:
         """Cache key for one cell, or None when any input is uncacheable."""
-        try:
-            payload = stable_bytes(
-                (
-                    code_fingerprint(), engine_variant(), recovery_variant(),
-                    fn, args, kwargs,
-                )
-            )
-        except Uncacheable:
-            return None
-        return hashlib.sha256(payload).hexdigest()
+        return cell_key(
+            fn, args, kwargs, engine_raw=engine_raw, recovery_raw=recovery_raw
+        )
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Is there a stored entry for ``key``? Never touches counters.
+
+        A probe, not a lookup: the service uses this at submit time to
+        report how many of a job's cells the warm cache already covers,
+        without charging a hit (the hit lands when execution reads it).
+        """
+        try:
+            return self._path(key).is_file()
+        except OSError:
+            return False
 
     def get(self, key: str) -> Tuple[bool, Any]:
         """(hit, value) for ``key``; misses return ``(False, None)``."""
         try:
             with open(self._path(key), "rb") as handle:
-                value = pickle.load(handle)
+                payload = handle.read()
+            value = pickle.loads(payload)
         except Exception:
             self.misses += 1
             return False, None
         self.hits += 1
+        self.bytes_read += len(payload)
         return True, value
 
     def put(self, key: str, value: Any) -> bool:
@@ -315,6 +406,7 @@ class ResultCache:
                 raise
         except Exception:
             return False
+        self.bytes_written += len(payload)
         return True
 
     def _entries(self) -> Iterator[Path]:
@@ -324,8 +416,64 @@ class ResultCache:
             if not path.name.startswith(".tmp-"):
                 yield path
 
+    def _stats_records(self) -> Iterator[Path]:
+        stats_dir = self.root / _STATS_DIRNAME
+        if not stats_dir.is_dir():
+            return
+        for path in stats_dir.glob("run-*.json"):
+            yield path
+
+    def record_run(self, label: str) -> bool:
+        """Persist this process's counters-since-last-record as one run.
+
+        Writes an atomic JSON record under ``<root>/_stats/`` with the
+        hit/miss/byte deltas accumulated since the previous
+        :meth:`record_run` (so a long-lived service can record once per
+        job without double counting). All-zero deltas are skipped. Never
+        raises — stats are accounting, not correctness.
+        """
+        previous = self._recorded
+        current = (self.hits, self.misses, self.bytes_read, self.bytes_written)
+        delta = tuple(now - then for now, then in zip(current, previous))
+        if not any(delta):
+            return False
+        record = {
+            "label": str(label),
+            "hits": delta[0],
+            "misses": delta[1],
+            "bytes_read": delta[2],
+            "bytes_written": delta[3],
+            "pid": os.getpid(),
+            "recorded_at_ns": time.time_ns(),
+        }
+        stats_dir = self.root / _STATS_DIRNAME
+        try:
+            stats_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=stats_dir, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(
+                tmp_name,
+                stats_dir
+                / f"run-{record['recorded_at_ns']}-{record['pid']}.json",
+            )
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except (OSError, UnboundLocalError):
+                pass
+            return False
+        self._recorded = current
+        return True
+
     def stats(self) -> CacheStats:
-        """Entry count and on-disk size, plus this process's hit/miss."""
+        """Entry count and on-disk size, plus live and persisted counters.
+
+        Everything disk-derived is recomputed on each call, so entries and
+        run records written by other processes mid-run are included.
+        """
         entries = 0
         size = 0
         for path in self._entries():
@@ -334,21 +482,45 @@ class ResultCache:
                 size += path.stat().st_size
             except OSError:
                 pass
+        runs = recorded_hits = recorded_misses = 0
+        recorded_read = recorded_written = 0
+        for path in self._stats_records():
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+                recorded_hits += int(record.get("hits", 0))
+                recorded_misses += int(record.get("misses", 0))
+                recorded_read += int(record.get("bytes_read", 0))
+                recorded_written += int(record.get("bytes_written", 0))
+            except (OSError, ValueError):
+                continue
+            runs += 1
         return CacheStats(
             root=str(self.root),
             entries=entries,
             bytes=size,
             hits=self.hits,
             misses=self.misses,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            recorded_runs=runs,
+            recorded_hits=recorded_hits,
+            recorded_misses=recorded_misses,
+            recorded_bytes_read=recorded_read,
+            recorded_bytes_written=recorded_written,
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and run record); returns entries removed."""
         removed = 0
         for path in list(self._entries()):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self._stats_records()):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

@@ -15,6 +15,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -30,7 +31,10 @@ _EPILOG = (
     "processes with byte-identical output for any value. Cell results are "
     "cached content-addressed under .repro-cache/ (override with "
     "REPRO_CACHE_DIR, disable with --no-cache or REPRO_CACHE=0; manage "
-    "with `repro cache stats|clear`); cached re-runs stay byte-identical."
+    "with `repro cache stats|clear`); cached re-runs stay byte-identical. "
+    "For repeated sweeps, `repro serve` keeps a warm daemon on a Unix "
+    "socket and `repro submit` batches against it (falling back to an "
+    "in-process run, byte-identical, when no server is listening)."
 )
 
 _PLATFORMS = {
@@ -121,6 +125,48 @@ def _platforms_for(name: str) -> List[Platform]:
             f"unknown platform {name!r} (choose from "
             f"{', '.join(sorted(_PLATFORMS))}, all)"
         ) from None
+
+
+def _platform_names_for(name: str) -> List[str]:
+    """Like :func:`_platforms_for`, but preset names (for job specs)."""
+    name = _PLATFORM_ALIASES.get(name.strip().lower(), name.strip().lower())
+    if name == "all":
+        return ["7302", "9634"]
+    if name not in _PLATFORMS:
+        raise SystemExit(
+            f"unknown platform {name!r} (choose from "
+            f"{', '.join(sorted(_PLATFORMS))}, all)"
+        )
+    return [name]
+
+
+def _validate_env(parser: argparse.ArgumentParser) -> None:
+    """Reject malformed env knobs up front, as usage errors not tracebacks.
+
+    ``REPRO_JOBS`` and ``REPRO_DES_SHARDS`` are read deep inside the
+    runner and the engine selection; a typo there should fail like a bad
+    flag (clean one-line error, exit 2), not as a traceback halfway
+    through a sweep.
+    """
+    from repro.cache import DES_SHARDS_ENV_VAR
+    from repro.errors import ConfigurationError
+    from repro.runner import JOBS_ENV_VAR, resolve_jobs
+
+    try:
+        resolve_jobs(None)
+    except ConfigurationError as error:
+        parser.error(f"${JOBS_ENV_VAR}: {error}")
+    raw = os.environ.get(DES_SHARDS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            shards_ok = int(raw) >= 1
+        except ValueError:
+            shards_ok = False
+        if not shards_ok:
+            parser.error(
+                f"${DES_SHARDS_ENV_VAR} must be a positive integer, "
+                f"got {raw!r}"
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,13 +371,289 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_cmd.add_argument(
         "action", choices=("stats", "clear"),
-        help="stats: entry count and size; clear: delete every entry",
+        help="stats: entry count, size, and persisted hit/miss counters; "
+             "clear: delete every entry and counter record",
     )
     cache_cmd.add_argument(
         "--dir", default=None, metavar="DIR",
         help="cache directory (default: $REPRO_CACHE_DIR, else .repro-cache)",
     )
+    cache_cmd.add_argument(
+        "--jobs", default=None, type=_jobs_arg, metavar="N",
+        help="accepted for uniformity; cache maintenance runs no cells",
+    )
+    cache_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="accepted for uniformity; maintenance always works on the store",
+    )
+
+    def add_service_options(cmd, jobs_help: str):
+        cmd.add_argument(
+            "--socket", default=None, metavar="PATH",
+            help=(
+                "service Unix socket (default: $REPRO_SOCKET, else "
+                ".repro-service.sock)"
+            ),
+        )
+        cmd.add_argument(
+            "--jobs", default=None, type=_jobs_arg, metavar="N",
+            help=jobs_help,
+        )
+        cmd.add_argument(
+            "--no-cache", action="store_true",
+            help="run without the content-addressed result cache",
+        )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the persistent simulation service (daemon on a Unix socket)",
+        description=(
+            "Start the long-lived job server: clients submit batches with "
+            "`repro submit`, the server dedups them against the shared warm "
+            "cache, schedules by priority with per-client fairness and "
+            "bounded-depth admission, and streams per-cell results back as "
+            "line-delimited JSON. Stop with SIGINT/SIGTERM or a client's "
+            "shutdown op; the socket is unlinked on exit."
+        ),
+    )
+    add_service_options(
+        serve_cmd,
+        "worker processes per batch (a count or 'auto'; batches themselves "
+        "run one at a time)",
+    )
+    serve_cmd.add_argument(
+        "--max-depth", type=int, default=16, metavar="N",
+        help=(
+            "admission bound: at most N queued jobs; submissions beyond it "
+            "are rejected with a structured retry-after (default 16)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout for every job (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="retry attempts per failed cell (default 0)",
+    )
+    serve_cmd.add_argument(
+        "--artifacts-dir", default=None, metavar="DIR",
+        help="trace-artifact directory (default .repro-service/)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit",
+        help="submit one batch to the service (or run it locally)",
+        description=(
+            "Build one job spec and submit it to a running `repro serve` "
+            "daemon; when no server is listening the same spec runs in "
+            "process, with byte-identical stdout. The artifact goes to "
+            "stdout, job/cache accounting to stderr."
+        ),
+    )
+    submit_cmd.add_argument(
+        "kind", choices=("netstack", "chaos", "trace"),
+        help="which experiment family the batch runs",
+    )
+    submit_cmd.add_argument(
+        "--platform", default="7302",
+        help="7302, 9634, synthetic, or all (one job per platform)",
+    )
+    submit_cmd.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    add_service_options(
+        submit_cmd,
+        "worker processes for the local fallback (a count or 'auto')",
+    )
+    submit_cmd.add_argument(
+        "--priority", type=int, default=0, metavar="P",
+        help="scheduling priority; higher runs first (default 0)",
+    )
+    submit_cmd.add_argument(
+        "--client", default=None, metavar="NAME",
+        help="client name for the server's fairness policy (default: per-"
+             "connection)",
+    )
+    submit_cmd.add_argument(
+        "--local", action="store_true",
+        help="skip the server probe and run in process",
+    )
+    submit_cmd.add_argument(
+        "--arm", default=None, choices=("off", "credits", "credits+qos"),
+        help="netstack: single stack arm (default: all three)",
+    )
+    submit_cmd.add_argument(
+        "--severity", type=_severity_arg, default=None, metavar="S",
+        help="chaos: single fault severity in [0,1] (default: full sweep)",
+    )
+    submit_cmd.add_argument(
+        "--cell", default="netstack", choices=("netstack", "table2"),
+        help="trace: which cell to trace (default netstack)",
+    )
+    submit_cmd.add_argument(
+        "--samples", type=_samples_arg, default=None, metavar="N",
+        help="trace: samples per traced cell (default: kind-specific)",
+    )
+    submit_cmd.add_argument(
+        "--transactions", type=int, default=None, metavar="N",
+        help="netstack/chaos: DES transactions per core (default: "
+             "experiment-specific)",
+    )
+    submit_cmd.add_argument(
+        "--shards", type=_shards_arg, default=None, metavar="N",
+        help="run the batch on the sharded DES engine with N shards "
+             "(cached separately per shard count)",
+    )
+    submit_cmd.add_argument(
+        "--recover", action="store_true",
+        help="run the batch with the fault-reactive recovery layer enabled",
+    )
+    submit_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell timeout for the local fallback (default: none)",
+    )
+    submit_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="retry attempts per failed cell in the local fallback",
+    )
+
+    jobs_cmd = sub.add_parser(
+        "jobs",
+        help="list the service's running, queued, and finished jobs",
+    )
+    add_service_options(
+        jobs_cmd, "accepted for uniformity; the listing itself runs no cells"
+    )
     return parser
+
+
+def _submit_spec(args, platform_name: str) -> dict:
+    """One service job spec from ``repro submit`` flags."""
+    params: dict = {}
+    if args.kind == "netstack":
+        if args.arm is not None:
+            params["arms"] = [args.arm]
+        if args.transactions is not None:
+            params["transactions_per_core"] = args.transactions
+    elif args.kind == "chaos":
+        if args.severity is not None:
+            params["severities"] = [args.severity]
+        if args.transactions is not None:
+            params["transactions_per_core"] = args.transactions
+    else:
+        params["cell"] = args.cell
+        if args.samples is not None:
+            params["samples"] = args.samples
+    return {
+        "kind": args.kind,
+        "platform": platform_name,
+        "seed": args.seed,
+        "params": params,
+        "variants": {
+            "des_shards": args.shards,
+            "recovery": bool(args.recover),
+        },
+    }
+
+
+def _serve(args) -> int:
+    """Run the service daemon until SIGINT/SIGTERM or a shutdown op."""
+    import asyncio
+    import signal
+
+    from repro.cache import ResultCache, cache_enabled_by_env
+    from repro.errors import ServiceError
+    from repro.service.server import ReproService
+
+    cache = (
+        None if (args.no_cache or not cache_enabled_by_env())
+        else ResultCache()
+    )
+    service = ReproService(
+        args.socket,
+        max_depth=args.max_depth,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        cache=cache,
+        artifacts_dir=args.artifacts_dir,
+    )
+
+    async def serve() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(service.stop())
+            )
+        print(
+            f"[repro] serving on {service.socket_path} "
+            f"(max queue depth {service.scheduler.max_depth}, cache "
+            f"{'on' if service.cache is not None else 'off'})",
+            file=sys.stderr,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except ServiceError as error:
+        print(f"[repro] serve: {error}", file=sys.stderr)
+        return 1
+    print("[repro] serve: stopped cleanly", file=sys.stderr)
+    return 0
+
+
+def _jobs_listing(args) -> int:
+    """Print the server's queue snapshot and job records."""
+    from repro.analysis.report import render_table
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+    from repro.service.server import resolve_socket_path
+
+    try:
+        with ServiceClient(args.socket) as client:
+            listing = client.jobs()
+    except (OSError, ServiceError) as error:
+        print(
+            f"[repro] jobs: no service listening on "
+            f"{resolve_socket_path(args.socket)} ({error})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"running: {listing.get('running') or '-'}")
+    queued = listing.get("queued") or []
+    if queued:
+        print(render_table(
+            ["job", "client", "priority", "kind", "cells"],
+            [
+                [row["job"], row["client"], row["priority"],
+                 row["kind"], row["cells"]]
+                for row in queued
+            ],
+            title="queued (dispatch order)",
+        ))
+    else:
+        print("queued: none")
+    records = listing.get("records") or []
+    if records:
+        print(render_table(
+            ["job", "client", "status", "cells", "precached", "hits",
+             "misses", "deduped", "failures", "duration s"],
+            [
+                [
+                    row["job"], row["client"], row["status"], row["cells"],
+                    row["precached"], row["hits"], row["misses"],
+                    row["deduped"], row["failures"],
+                    row.get("duration_s", "-"),
+                ]
+                for row in records
+            ],
+            title="jobs",
+        ))
+    else:
+        print("jobs: none yet")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -343,6 +665,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from repro.cache import ResultCache, cache_enabled_by_env, set_default_cache
 
+    _validate_env(build_parser())
+
     if args.command == "cache":
         cache = ResultCache(args.dir)
         if args.action == "clear":
@@ -353,7 +677,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"cache: {stats.root}")
             print(f"entries: {stats.entries}")
             print(f"bytes: {stats.bytes}")
+            print(f"recorded runs: {stats.recorded_runs}")
+            print(f"recorded hits: {stats.recorded_hits}")
+            print(f"recorded misses: {stats.recorded_misses}")
+            print(f"recorded bytes read: {stats.recorded_bytes_read}")
+            print(f"recorded bytes written: {stats.recorded_bytes_written}")
         return 0
+
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "jobs":
+        return _jobs_listing(args)
 
     # The CLI opts into result caching (library use stays uncached unless
     # asked); --no-cache or REPRO_CACHE=0 turns it off.
@@ -624,6 +959,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         out.append(patterns.render(results))
 
+    elif args.command == "submit":
+        from repro.errors import ConfigurationError as _ConfigError
+        from repro.errors import ServiceError
+        from repro.service import submit_or_local
+
+        for platform_name in _platform_names_for(args.platform):
+            spec = _submit_spec(args, platform_name)
+            try:
+                outcome = submit_or_local(
+                    spec,
+                    socket_path=args.socket,
+                    priority=args.priority,
+                    client=args.client,
+                    jobs=jobs,
+                    timeout_s=args.timeout,
+                    retries=args.retries,
+                    prefer_local=args.local,
+                )
+            except _ConfigError as error:
+                build_parser().error(str(error))
+            except ServiceError as error:
+                hint = (
+                    f" (retry in {error.retry_after_s:.1f}s)"
+                    if error.retry_after_s is not None else ""
+                )
+                print(
+                    f"[repro] submit rejected: {error}{hint}",
+                    file=sys.stderr,
+                )
+                return 1
+            out.append(outcome.render())
+            where = (
+                f"job {outcome.job_id} (served)"
+                if outcome.served else "local"
+            )
+            print(
+                f"[repro] submit {platform_name}: {where} "
+                f"cells={len(outcome.results)} hits={outcome.hits} "
+                f"deduped={outcome.deduped} failures={outcome.failures}",
+                file=sys.stderr,
+            )
+
     elif args.command == "core-to-core":
         from repro.core.coretocore import measure_matrix
 
@@ -639,6 +1016,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
 
     elapsed = time.perf_counter() - started
+    # Persist this run's cache hit/miss deltas so `repro cache stats`
+    # reports accounting across processes, not just the live one.
+    from repro.cache import default_cache
+
+    run_cache = default_cache()
+    if run_cache is not None:
+        run_cache.record_run(args.command)
     try:
         print("\n\n".join(out))
     except BrokenPipeError:

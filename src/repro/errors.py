@@ -43,6 +43,34 @@ class AdmissionError(ChipletError):
     at least one fabric channel (the admission controller's invariant)."""
 
 
+class ServiceError(ChipletError):
+    """The simulation service refused or failed a request.
+
+    ``code`` is the structured error code from the wire protocol (e.g.
+    ``"queue-full"``, ``"bad-request"``, ``"unknown-job"``);
+    ``retry_after_s`` is the server's backpressure hint for admission
+    rejections — wait at least this long before resubmitting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "error",
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+
+class ProtocolError(ServiceError):
+    """A malformed frame or value crossed the service's wire protocol."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="protocol")
+
+
 class CellExecutionError(ChipletError):
     """A runner cell failed after exhausting its attempts.
 

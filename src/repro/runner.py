@@ -61,14 +61,15 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.cache import ResultCache, default_cache
+from repro.cache import ResultCache, cell_key, default_cache
 from repro.errors import CellExecutionError, ConfigurationError
 
 __all__ = [
@@ -120,7 +121,10 @@ class CellFailure:
     """Why one cell ultimately failed.
 
     ``kind`` is ``"error"`` (the cell raised), ``"timeout"`` (its result
-    missed the per-cell deadline), or ``"crash"`` (its worker process died).
+    missed the per-cell deadline), ``"crash"`` (its worker process died),
+    or ``"cancelled"`` (the caller's cancel event was set before the cell
+    started — cancellation never interrupts a cell mid-flight, and every
+    cancelled cell is reported, never silently dropped).
     ``error`` is the final underlying exception.
     """
 
@@ -129,7 +133,7 @@ class CellFailure:
     error: BaseException
     attempts: int
 
-    _KINDS = ("error", "timeout", "crash")
+    _KINDS = ("error", "timeout", "crash", "cancelled")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
@@ -153,7 +157,10 @@ class CellResult:
     """Structured outcome of one cell: a value or a failure, never both.
 
     ``cached=True`` marks a value served from the result cache without
-    executing the cell (``attempts`` is 0 in that case).
+    executing the cell (``attempts`` is 0 in that case). ``deduped=True``
+    marks a cell that was content-identical to an earlier cell in the same
+    batch and received a fan-out copy of that cell's outcome instead of
+    executing (``attempts`` is 0 there too).
     """
 
     index: int
@@ -162,6 +169,7 @@ class CellResult:
     attempts: int = 1
     duration_s: float = 0.0
     cached: bool = False
+    deduped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -198,6 +206,20 @@ def _picklable(cells: Sequence[Cell]) -> bool:
 # ---------------------------------------------------------------- execution
 
 
+def _cancelled_result(index: int, attempt: int) -> CellResult:
+    """A structured "cancelled before execution" outcome for one cell."""
+    error = CellExecutionError(
+        f"cell {index} cancelled before execution",
+        cell_index=index,
+        attempts=attempt,
+    )
+    return CellResult(
+        index,
+        failure=CellFailure(index, "cancelled", error, attempt),
+        attempts=attempt,
+    )
+
+
 def _run_in_process(cell: Cell, index: int, attempt: int) -> CellResult:
     """Run one cell here; exceptions become structured failures."""
     started = time.perf_counter()
@@ -222,6 +244,7 @@ def _run_batch_pooled(
     workers: int,
     timeout_s: Optional[float],
     attempt: int,
+    cancel: Optional[threading.Event] = None,
 ) -> Optional[Dict[int, CellResult]]:
     """Run ``indices`` in one worker pool; None if no pool can be created.
 
@@ -249,8 +272,19 @@ def _run_batch_pooled(
             for index in indices
         }
         for index in indices:
+            cancelled = cancel is not None and cancel.is_set()
+            if cancelled and futures[index].cancel():
+                # Not yet started in a worker: report it cancelled instead
+                # of waiting for a result that will never be wanted.
+                outcomes[index] = _cancelled_result(index, attempt)
+                continue
             if broken:
-                outcomes[index] = _run_in_process(cells[index], index, attempt)
+                if cancelled:
+                    outcomes[index] = _cancelled_result(index, attempt)
+                else:
+                    outcomes[index] = _run_in_process(
+                        cells[index], index, attempt
+                    )
                 continue
             started = time.perf_counter()
             try:
@@ -313,6 +347,9 @@ def run_cells_detailed(
     fail_fast: bool = False,
     cache: Any = USE_DEFAULT_CACHE,
     pool_threshold_s: float = POOL_THRESHOLD_S,
+    on_result: Optional[Callable[[CellResult], None]] = None,
+    cancel: Optional[threading.Event] = None,
+    dedup: bool = True,
 ) -> List[CellResult]:
     """Run every cell; one :class:`CellResult` per cell, submission order.
 
@@ -329,6 +366,25 @@ def run_cells_detailed(
     cell is stored afterwards. Because cells are pure functions of their
     arguments, hits are values a clean run would have computed — cached,
     uncached, and any ``--jobs`` runs stay bit-identical.
+
+    ``dedup`` (default on) collapses content-identical cells *within* the
+    batch to a single execution: duplicates receive a fan-out copy of the
+    primary's outcome (``deduped=True``, 0 attempts). Identity is the same
+    content address the cache uses, so it holds with caching off and for
+    duplicates submitted before the first one lands; cells are pure, so
+    values are unchanged — only the redundant work disappears.
+
+    ``on_result`` streams outcomes: it is invoked once per cell with that
+    cell's *final* :class:`CellResult` as soon as it is known (cache hits
+    first, then executed cells as they resolve, then fan-out duplicates) —
+    the seam the simulation service's async bridge consumes. Callbacks run
+    on the calling thread and arrive in completion order, not submission
+    order; the returned list is always submission-ordered regardless.
+
+    ``cancel`` is a :class:`threading.Event`: once set, cells that have not
+    started are resolved as ``"cancelled"`` failures (in-flight cells finish
+    normally, and nothing is retried after cancellation). Every cell still
+    gets exactly one result — cancellation reports, it never drops.
 
     ``pool_threshold_s`` guards against pool spin-up dwarfing the work
     (tens of ms of fork + import for a sweep of sub-millisecond cells):
@@ -356,6 +412,13 @@ def run_cells_detailed(
         default_cache() if cache is USE_DEFAULT_CACHE else cache
     )
     results: Dict[int, CellResult] = {}
+    emitted: set = set()
+
+    def emit(index: int) -> None:
+        if on_result is not None and index not in emitted:
+            emitted.add(index)
+            on_result(results[index])
+
     keys: List[Optional[str]] = [None] * len(cells)
     if cache_obj is not None:
         for index, cell in enumerate(cells):
@@ -368,7 +431,26 @@ def run_cells_detailed(
                 results[index] = CellResult(
                     index, value=value, attempts=0, cached=True
                 )
+                emit(index)
     pending = [index for index in range(len(cells)) if index not in results]
+    # In-batch dedup: identical pending cells collapse to one execution.
+    duplicates: Dict[int, List[int]] = {}
+    if dedup and len(pending) > 1:
+        primary_by_key: Dict[str, int] = {}
+        unique: List[int] = []
+        for index in pending:
+            key = keys[index] if cache_obj is not None else cell_key(
+                cells[index].fn, cells[index].args, cells[index].kwargs
+            )
+            if key is None:
+                unique.append(index)
+                continue
+            primary = primary_by_key.setdefault(key, index)
+            if primary == index:
+                unique.append(index)
+            else:
+                duplicates.setdefault(primary, []).append(index)
+        pending = unique
     workers = min(resolve_jobs(jobs), len(cells))
     pooled = workers > 1 and pending and _picklable(
         [cells[index] for index in pending]
@@ -376,9 +458,25 @@ def run_cells_detailed(
     for attempt in range(1, retries + 2):
         if not pending:
             break
+        if cancel is not None and cancel.is_set():
+            for index in pending:
+                results[index] = _cancelled_result(index, attempt)
+                emit(index)
+            pending = []
+            break
         if attempt > 1 and backoff_s > 0:
             time.sleep(backoff_s * 2 ** (attempt - 2))
-        batch: Dict[int, CellResult] = {}
+
+        def settle(index: int, result: CellResult) -> None:
+            # Record one attempt's outcome and stream it if it is final:
+            # successes and cancellations are always final; failures only
+            # once no retries remain.
+            results[index] = result
+            if result.ok or result.failure.kind == "cancelled":
+                emit(index)
+            elif attempt == retries + 1:
+                emit(index)
+
         remaining = list(pending)
         if (
             pooled
@@ -392,33 +490,58 @@ def run_cells_detailed(
             while remaining and (
                 time.perf_counter() - ramp_started < pool_threshold_s
             ):
+                if cancel is not None and cancel.is_set():
+                    break
                 index = remaining.pop(0)
-                batch[index] = _run_in_process(cells[index], index, attempt)
+                settle(index, _run_in_process(cells[index], index, attempt))
             if not remaining:
                 pooled = False
         if remaining and pooled:
             pool_batch = _run_batch_pooled(
-                cells, remaining, workers, timeout_s, attempt
+                cells, remaining, workers, timeout_s, attempt, cancel
             )
             if pool_batch is None:
                 pooled = False
             else:
-                batch.update(pool_batch)
+                for index in remaining:
+                    settle(index, pool_batch[index])
                 remaining = []
         for index in remaining:
-            batch[index] = _run_in_process(cells[index], index, attempt)
-        results.update(batch)
+            if cancel is not None and cancel.is_set():
+                settle(index, _cancelled_result(index, attempt))
+            else:
+                settle(index, _run_in_process(cells[index], index, attempt))
         final = attempt == retries + 1
-        still_failed = [i for i in pending if not results[i].ok]
+        still_failed = [
+            i for i in pending
+            if not results[i].ok and results[i].failure.kind != "cancelled"
+        ]
         if fail_fast and final and still_failed:
             raise results[still_failed[0]].failure.as_exception()
         pending = still_failed
+    # Fan duplicate outcomes out from their primaries (value *or* failure:
+    # a duplicate of a failed cell reports the same failure at its index).
+    for primary, dup_indices in duplicates.items():
+        source = results[primary]
+        for index in dup_indices:
+            failure = source.failure
+            if failure is not None:
+                failure = replace(failure, index=index)
+            results[index] = CellResult(
+                index,
+                value=source.value,
+                failure=failure,
+                attempts=0,
+                cached=source.cached,
+                deduped=True,
+            )
+            emit(index)
     if cache_obj is not None:
         for index, key in enumerate(keys):
             if key is None:
                 continue
             result = results[index]
-            if result.ok and not result.cached:
+            if result.ok and not result.cached and not result.deduped:
                 cache_obj.put(key, result.value)
     return [results[index] for index in range(len(cells))]
 

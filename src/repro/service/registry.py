@@ -1,0 +1,419 @@
+"""The submittable cell kinds and their job specs.
+
+A *job spec* is the JSON-friendly description of one batch a client
+submits: which experiment kind, on which platform preset, with which
+parameters and execution variants. :func:`normalize_spec` canonicalizes a
+raw spec (fills defaults, validates every field, sorts structure) so that
+two clients asking for the same work produce byte-identical specs — and
+therefore the same cells, the same cache keys, and the same dedup
+behaviour.
+
+Three kinds cover the service's initial surface, one per family of the
+repo's experiment layers:
+
+* ``netstack`` — the §4 stack-on/off contention comparison
+  (:func:`repro.experiments.netstack.run_point`), one cell per
+  (backend, arm);
+* ``chaos`` — the graceful-degradation severity sweep
+  (:func:`repro.experiments.chaos.run_point`), one cell per severity,
+  optionally with the fault-reactive recovery layer enabled per job;
+* ``trace`` — the span-traced cells
+  (:mod:`repro.experiments.trace`), whose values carry
+  :class:`~repro.trace.TraceRecording` artifacts the server exports as
+  Perfetto JSON handles.
+
+Execution *variants* (sharded DES engine, recovery layer) are carried in
+the spec, not in the server's environment: :func:`variant_raws` exposes
+them as the raw strings :func:`repro.cache.cell_key` folds into content
+keys, and :func:`apply_variants` applies them to ``os.environ`` only for
+the duration of one (serialized) batch execution.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runner import Cell, CellResult, USE_DEFAULT_CACHE, run_cells_detailed
+
+__all__ = [
+    "KINDS",
+    "apply_variants",
+    "build_cells",
+    "kind_names",
+    "normalize_spec",
+    "render_results",
+    "resolve_platform",
+    "run_local",
+    "trace_recordings",
+    "variant_raws",
+]
+
+#: The submittable experiment kinds, in presentation order.
+KINDS: Tuple[str, ...] = ("netstack", "chaos", "trace")
+
+#: Platform presets the service accepts (the CLI's map raises SystemExit
+#: on bad names; the service needs a catchable ConfigurationError).
+_PLATFORM_NAMES: Tuple[str, ...] = ("7302", "9634", "synthetic")
+
+_PLATFORM_ALIASES = {
+    "epyc7302": "7302",
+    "epyc-7302": "7302",
+    "epyc9634": "9634",
+    "epyc-9634": "9634",
+}
+
+
+def kind_names() -> Tuple[str, ...]:
+    """The accepted ``kind`` values, for help strings and validation."""
+    return KINDS
+
+
+def resolve_platform(name: str):
+    """Build the platform preset ``name`` denotes.
+
+    Accepts the CLI's short names and long aliases; raises
+    :class:`ConfigurationError` (not SystemExit) on unknown names so the
+    server can turn it into a structured ``bad-request`` event.
+    """
+    from repro.platform.presets import epyc_7302, epyc_9634, synthetic_ucie
+
+    presets = {
+        "7302": epyc_7302,
+        "9634": epyc_9634,
+        "synthetic": synthetic_ucie,
+    }
+    canonical = _PLATFORM_ALIASES.get(str(name).strip().lower(), str(name).strip().lower())
+    try:
+        factory = presets[canonical]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown platform {name!r} (choose from "
+            f"{', '.join(_PLATFORM_NAMES)})"
+        ) from None
+    return factory()
+
+
+# ------------------------------------------------------------- validation
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _as_int(value: Any, field: str, minimum: int) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{field} must be an integer, got {value!r}",
+    )
+    _require(value >= minimum, f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def _normalize_variants(raw: Any) -> Dict[str, Any]:
+    if raw is None:
+        raw = {}
+    _require(isinstance(raw, dict), f"variants must be an object, got {raw!r}")
+    unknown = set(raw) - {"des_shards", "recovery"}
+    _require(
+        not unknown,
+        f"unknown variant field(s): {', '.join(sorted(unknown))} "
+        "(accepted: des_shards, recovery)",
+    )
+    shards = raw.get("des_shards")
+    if shards is not None:
+        shards = _as_int(shards, "variants.des_shards", 1)
+    recovery = raw.get("recovery", False)
+    _require(
+        isinstance(recovery, bool),
+        f"variants.recovery must be a boolean, got {recovery!r}",
+    )
+    return {"des_shards": shards, "recovery": recovery}
+
+
+def _normalize_netstack(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.netstack import ARMS
+
+    arms = params.get("arms")
+    if arms is None:
+        arms = list(ARMS)
+    _require(
+        isinstance(arms, list) and arms,
+        f"params.arms must be a non-empty list, got {arms!r}",
+    )
+    for arm in arms:
+        _require(
+            arm in ARMS,
+            f"unknown arm {arm!r} (choose from {', '.join(ARMS)})",
+        )
+    transactions = _as_int(
+        params.get("transactions_per_core", 400),
+        "params.transactions_per_core", 1,
+    )
+    return {"arms": arms, "transactions_per_core": transactions}
+
+
+def _normalize_chaos(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.chaos import SEVERITIES
+
+    severities = params.get("severities")
+    if severities is None:
+        severities = list(SEVERITIES)
+    _require(
+        isinstance(severities, list) and severities,
+        f"params.severities must be a non-empty list, got {severities!r}",
+    )
+    normalized = []
+    for severity in severities:
+        _require(
+            isinstance(severity, (int, float)) and not isinstance(severity, bool)
+            and 0.0 <= float(severity) <= 1.0,
+            f"severity must be a number in [0, 1], got {severity!r}",
+        )
+        normalized.append(float(severity))
+    transactions = _as_int(
+        params.get("transactions_per_core", 200),
+        "params.transactions_per_core", 1,
+    )
+    return {"severities": normalized, "transactions_per_core": transactions}
+
+
+def _normalize_trace(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.trace import CELLS, default_samples
+
+    cell = params.get("cell", "netstack")
+    _require(
+        cell in CELLS,
+        f"unknown trace cell {cell!r} (choose from {', '.join(CELLS)})",
+    )
+    samples = params.get("samples")
+    if samples is None:
+        samples = default_samples(cell)
+    samples = _as_int(samples, "params.samples", 10)
+    return {"cell": cell, "samples": samples}
+
+
+_NORMALIZERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "netstack": _normalize_netstack,
+    "chaos": _normalize_chaos,
+    "trace": _normalize_trace,
+}
+
+
+def normalize_spec(spec: Any) -> Dict[str, Any]:
+    """Canonicalize one raw job spec; invalid specs raise ConfigurationError.
+
+    The returned dict always has exactly the keys ``kind``, ``platform``,
+    ``seed``, ``params``, ``variants``, with every default filled in, so
+    equal requests normalize to equal specs regardless of which optional
+    fields the client spelled out.
+    """
+    _require(isinstance(spec, dict), f"spec must be an object, got {spec!r}")
+    unknown = set(spec) - {"kind", "platform", "seed", "params", "variants"}
+    _require(
+        not unknown,
+        f"unknown spec field(s): {', '.join(sorted(unknown))}",
+    )
+    kind = spec.get("kind")
+    _require(
+        kind in KINDS,
+        f"unknown kind {kind!r} (choose from {', '.join(KINDS)})",
+    )
+    platform = str(spec.get("platform", "7302")).strip().lower()
+    platform = _PLATFORM_ALIASES.get(platform, platform)
+    _require(
+        platform in _PLATFORM_NAMES,
+        f"unknown platform {spec.get('platform')!r} (choose from "
+        f"{', '.join(_PLATFORM_NAMES)})",
+    )
+    seed = spec.get("seed", 0)
+    _require(
+        isinstance(seed, int) and not isinstance(seed, bool),
+        f"seed must be an integer, got {seed!r}",
+    )
+    params = spec.get("params") or {}
+    _require(
+        isinstance(params, dict),
+        f"params must be an object, got {params!r}",
+    )
+    return {
+        "kind": kind,
+        "platform": platform,
+        "seed": seed,
+        "params": _NORMALIZERS[kind](params),
+        "variants": _normalize_variants(spec.get("variants")),
+    }
+
+
+# --------------------------------------------------------------- variants
+
+
+def variant_raws(spec: Dict[str, Any]) -> Tuple[Optional[str], Optional[str]]:
+    """The spec's variants as ``(engine_raw, recovery_raw)`` cache-key raws.
+
+    Matches what :func:`apply_variants` will put in the environment — the
+    submit-time cache probe and the execution-time default cache must key
+    identically or warm hits would silently miss (or worse, collide).
+    """
+    variants = spec.get("variants") or {}
+    shards = variants.get("des_shards")
+    engine_raw = "" if shards is None else str(shards)
+    recovery_raw = "1" if variants.get("recovery") else ""
+    return engine_raw, recovery_raw
+
+
+@contextlib.contextmanager
+def apply_variants(spec: Dict[str, Any]) -> Iterator[None]:
+    """Apply the spec's execution variants to ``os.environ``, then restore.
+
+    Only safe while batches are serialized (the server runs one job at a
+    time for exactly this reason): the environment is process-global, and
+    the experiment layers read it at cell-execution time.
+    """
+    from repro.cache import DES_SHARDS_ENV_VAR, RECOVERY_ENV_VAR
+
+    engine_raw, recovery_raw = variant_raws(spec)
+    saved = {
+        name: os.environ.get(name)
+        for name in (DES_SHARDS_ENV_VAR, RECOVERY_ENV_VAR)
+    }
+    try:
+        for name, value in ((DES_SHARDS_ENV_VAR, engine_raw),
+                            (RECOVERY_ENV_VAR, recovery_raw)):
+            if value:
+                os.environ[name] = value
+            else:
+                os.environ.pop(name, None)
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+# ------------------------------------------------------------------ cells
+
+
+def build_cells(spec: Dict[str, Any]) -> List[Cell]:
+    """The runner cells one normalized spec denotes, in submission order.
+
+    Deterministic: the same normalized spec always yields the same cells
+    in the same order, which is what makes per-cell events addressable by
+    index alone.
+    """
+    platform = resolve_platform(spec["platform"])
+    params = spec["params"]
+    seed = spec["seed"]
+    if spec["kind"] == "netstack":
+        from repro.experiments.netstack import BACKENDS, run_point
+
+        return [
+            Cell(
+                run_point,
+                (platform, arm, backend),
+                dict(
+                    seed=seed,
+                    transactions_per_core=params["transactions_per_core"],
+                ),
+            )
+            for backend in BACKENDS
+            for arm in params["arms"]
+        ]
+    if spec["kind"] == "chaos":
+        from repro.experiments.chaos import run_point
+
+        return [
+            Cell(
+                run_point,
+                (platform, severity),
+                dict(
+                    seed=seed,
+                    transactions_per_core=params["transactions_per_core"],
+                ),
+            )
+            for severity in params["severities"]
+        ]
+    from repro.experiments.trace import _netstack_cell, _positions, _table2_cell
+
+    if params["cell"] == "netstack":
+        from repro.experiments.netstack import ARMS
+
+        return [
+            Cell(_netstack_cell, (platform, arm, seed, params["samples"]))
+            for arm in ARMS
+        ]
+    return [
+        Cell(_table2_cell, (platform, position, seed, params["samples"]))
+        for position in _positions(platform)
+    ]
+
+
+def render_results(spec: Dict[str, Any], results: Sequence[CellResult]) -> str:
+    """The spec's human-readable artifact, identical to the CLI's rendering.
+
+    Pure function of (spec, decoded results): the client renders locally
+    from streamed values, and the output is byte-identical to running the
+    same spec in process.
+    """
+    platform = resolve_platform(spec["platform"])
+    if spec["kind"] == "netstack":
+        from repro.experiments.netstack import render
+
+        return render(platform.name, results)
+    if spec["kind"] == "chaos":
+        from repro.experiments.chaos import render
+
+        return render(platform.name, results)
+    from repro.experiments.trace import render
+
+    return render(platform, spec["params"]["cell"], results)
+
+
+def trace_recordings(
+    spec: Dict[str, Any], results: Sequence[CellResult]
+) -> List[Tuple[int, str, Any]]:
+    """``(index, label, recording)`` for each traced cell value.
+
+    Empty for kinds whose values carry no recording — the server uses
+    this to decide which cells get trace-artifact handles.
+    """
+    if spec["kind"] != "trace":
+        return []
+    return [
+        (result.index, result.value.label, result.value.recording)
+        for result in results
+        if result.ok
+    ]
+
+
+def run_local(
+    spec: Dict[str, Any],
+    *,
+    jobs: Any = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    cache: Any = USE_DEFAULT_CACHE,
+    on_result: Optional[Callable[[CellResult], None]] = None,
+    cancel: Any = None,
+) -> List[CellResult]:
+    """Execute one normalized spec in this process, variants applied.
+
+    The single code path both the server's executor and the client's
+    in-process fallback run — which is what makes the fallback
+    byte-identical to the served path by construction.
+    """
+    with apply_variants(spec):
+        return run_cells_detailed(
+            build_cells(spec),
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            cache=cache,
+            on_result=on_result,
+            cancel=cancel,
+        )

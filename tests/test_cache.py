@@ -132,6 +132,77 @@ class TestResultCache:
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64
 
+    def test_contains_probes_without_touching_counters(self, tmp_path):
+        # The service probes the store at submit time to report precached
+        # cells; a probe must not charge a hit or a miss — the real hit
+        # lands when execution reads the entry.
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(_square, (3,), {})
+        assert not cache.contains(key)
+        cache.put(key, 9)
+        assert cache.contains(key)
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.get(key) == (True, 9)
+        assert cache.hits == 1
+
+
+class TestStatsPersistence:
+    """record_run(): per-run counter deltas persisted across processes."""
+
+    def _one_hit_one_miss(self, cache):
+        key = cache.key_for(_square, (3,), {})
+        cache.get(key)          # miss
+        cache.put(key, 9)
+        cache.get(key)          # hit
+
+    def test_record_run_persists_deltas_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._one_hit_one_miss(cache)
+        assert cache.record_run("warmup")
+        # No activity since the record: an all-zero delta writes nothing.
+        assert not cache.record_run("idle")
+        stats = cache.stats()
+        assert stats.recorded_runs == 1
+        assert stats.recorded_hits == 1
+        assert stats.recorded_misses == 1
+        assert stats.recorded_bytes_read > 0
+        assert stats.recorded_bytes_written > 0
+
+    def test_deltas_never_double_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._one_hit_one_miss(cache)
+        cache.record_run("first")
+        cache.get(cache.key_for(_square, (3,), {}))     # one more hit
+        assert cache.record_run("second")
+        stats = cache.stats()
+        assert stats.recorded_runs == 2
+        assert stats.recorded_hits == 2     # 1 + 1, not 1 + 2
+        assert stats.recorded_misses == 1
+
+    def test_records_visible_to_other_instances(self, tmp_path):
+        # A fresh instance on the same root (standing in for another
+        # process) aggregates the persisted records even though its own
+        # live counters are untouched.
+        writer = ResultCache(tmp_path)
+        self._one_hit_one_miss(writer)
+        writer.record_run("writer")
+        reader = ResultCache(tmp_path)
+        stats = reader.stats()
+        assert reader.hits == 0 and reader.misses == 0
+        assert stats.recorded_runs == 1
+        assert stats.recorded_hits == 1
+        assert stats.recorded_misses == 1
+
+    def test_clear_removes_run_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._one_hit_one_miss(cache)
+        cache.record_run("gone")
+        cache.clear()
+        stats = cache.stats()
+        assert stats.entries == 0
+        assert stats.recorded_runs == 0
+        assert stats.recorded_hits == 0
+
 
 class TestRunnerIntegration:
     def test_second_run_hits_and_skips_execution(self, tmp_path):

@@ -271,3 +271,90 @@ class TestBackendValidation:
             monkeypatch.setenv("REPRO_FLUID_BACKEND", raw)
             assert main(["table3"]) == 0
             assert "Table 3" in capsys.readouterr().out
+
+
+class TestServiceCLI:
+    @pytest.fixture(autouse=True)
+    def _reset_default_cache(self, monkeypatch):
+        # submit/serve paths install a process default; restore the
+        # "never explicitly set" state afterwards.
+        import repro.cache as cache_module
+
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        yield
+        cache_module._default = cache_module._UNSET
+
+    def test_service_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve", "--max-depth", "4"]).command == "serve"
+        args = parser.parse_args([
+            "submit", "netstack", "--arm", "off", "--priority", "2",
+            "--local", "--transactions", "40",
+        ])
+        assert args.command == "submit"
+        assert args.kind == "netstack" and args.priority == 2 and args.local
+        assert parser.parse_args(["jobs"]).command == "jobs"
+
+    def test_uniform_flags_on_service_and_cache_commands(self):
+        # --no-cache and --jobs are accepted uniformly, including on the
+        # maintenance commands that run no cells.
+        parser = build_parser()
+        for argv in (
+            ["cache", "stats"],
+            ["serve"],
+            ["submit", "netstack"],
+            ["jobs"],
+        ):
+            args = parser.parse_args(argv + ["--no-cache", "--jobs", "2"])
+            assert args.no_cache and args.jobs == 2
+
+    def test_submit_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "fig3"])
+
+    def test_submit_local_matches_direct_command(self, capsys):
+        # `repro submit --local` runs the identical normalized spec through
+        # the identical experiment code: stdout is byte-identical to the
+        # first-class subcommand.
+        direct = [
+            "netstack", "--platform", "7302", "--arm", "off",
+            "--transactions", "40",
+        ]
+        assert main(direct) == 0
+        direct_out = capsys.readouterr().out
+        assert main([
+            "submit", "netstack", "--platform", "7302", "--arm", "off",
+            "--transactions", "40", "--local",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == direct_out
+        assert "local" in captured.err
+
+    def test_jobs_without_server_fails_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "no-service.sock")
+        assert main(["jobs", "--socket", missing]) == 1
+        err = capsys.readouterr().err
+        assert "no service listening" in err
+
+
+class TestEnvValidation:
+    def test_bad_jobs_env_is_a_usage_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1"])
+        assert excinfo.value.code == 2
+        assert "$REPRO_JOBS" in capsys.readouterr().err
+
+    def test_bad_shards_env_is_a_usage_error(self, monkeypatch, capsys):
+        for raw in ("soup", "0", "-3"):
+            monkeypatch.setenv("REPRO_DES_SHARDS", raw)
+            with pytest.raises(SystemExit) as excinfo:
+                main(["table1"])
+            assert excinfo.value.code == 2
+            assert "$REPRO_DES_SHARDS" in capsys.readouterr().err
+
+    def test_valid_env_values_accepted(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        monkeypatch.setenv("REPRO_DES_SHARDS", "2")
+        assert main(["table1"]) == 0
+        assert "Zen 2" in capsys.readouterr().out

@@ -301,6 +301,106 @@ def test_cell_failure_kinds_are_closed_set():
 
 
 # --------------------------------------------------------------------------
+# in-batch dedup: identical cells collapse to one execution
+
+
+def _record_call(path, x):
+    with open(path, "a") as handle:
+        handle.write(f"{x}\n")
+    return x * x
+
+
+def _boom_recorded(path, x):
+    _record_call(path, x)
+    raise RuntimeError("duplicated failure")
+
+
+def _call_count(path):
+    if not os.path.exists(path):
+        return 0
+    with open(path) as handle:
+        return sum(1 for line in handle if line.strip())
+
+
+class TestInBatchDedup:
+    """Content-identical cells within one batch run once and fan out."""
+
+    def test_duplicates_collapse_with_caching_disabled(self, tmp_path):
+        # Dedup keys on the same content address the cache uses, but must
+        # hold with caching off — a sweep with repeated points does the
+        # work once even when nothing persists.
+        marker = str(tmp_path / "calls")
+        cells = [Cell(_record_call, (marker, 4)) for _ in range(4)]
+        cells.append(Cell(_record_call, (marker, 9)))
+        detailed = run_cells_detailed(cells, jobs=1, cache=None)
+        assert _call_count(marker) == 2
+        assert [result.value for result in detailed] == [16, 16, 16, 16, 81]
+        assert [result.deduped for result in detailed] == [
+            False, True, True, True, False,
+        ]
+        # Fan-out copies report zero attempts: they never executed.
+        assert all(result.attempts == 0 for result in detailed if result.deduped)
+
+    def test_dedup_disabled_runs_every_cell(self, tmp_path):
+        marker = str(tmp_path / "calls")
+        cells = [Cell(_record_call, (marker, 4)) for _ in range(3)]
+        detailed = run_cells_detailed(cells, jobs=1, cache=None, dedup=False)
+        assert _call_count(marker) == 3
+        assert not any(result.deduped for result in detailed)
+
+    def test_failed_primary_fans_out_failure_per_index(self, tmp_path):
+        # A duplicate of a failed cell reports the same failure at its own
+        # index — failures fan out exactly like values.
+        marker = str(tmp_path / "calls")
+        cells = [Cell(_boom_recorded, (marker, 1)) for _ in range(3)]
+        detailed = run_cells_detailed(cells, jobs=1, cache=None)
+        assert _call_count(marker) == 1
+        assert all(not result.ok for result in detailed)
+        assert [result.failure.index for result in detailed] == [0, 1, 2]
+        assert all(result.failure.kind == "error" for result in detailed)
+
+    def test_unkeyable_cells_are_never_deduped(self, tmp_path):
+        # Lambdas have no stable content address (cell_key -> None); two
+        # identical-looking ones must both run rather than silently alias.
+        marker = str(tmp_path / "calls")
+        cells = [
+            Cell(lambda: _record_call(marker, 1)),
+            Cell(lambda: _record_call(marker, 1)),
+        ]
+        detailed = run_cells_detailed(cells, jobs=1, cache=None)
+        assert _call_count(marker) == 2
+        assert not any(result.deduped for result in detailed)
+
+    def test_cache_hits_take_precedence_over_dedup(self, tmp_path):
+        # Once the store is warm, duplicates resolve as hits, not fan-out:
+        # nothing executes and nothing is marked deduped.
+        from repro.cache import ResultCache
+
+        marker = str(tmp_path / "calls")
+        cache = ResultCache(tmp_path / "store")
+        run_cells_detailed(
+            [Cell(_record_call, (marker, 4))], jobs=1, cache=cache
+        )
+        detailed = run_cells_detailed(
+            [Cell(_record_call, (marker, 4)) for _ in range(3)],
+            jobs=1, cache=cache,
+        )
+        assert _call_count(marker) == 1
+        assert all(result.cached for result in detailed)
+        assert not any(result.deduped for result in detailed)
+
+    def test_streaming_emits_fanout_copies_exactly_once(self, tmp_path):
+        marker = str(tmp_path / "calls")
+        arrived = []
+        cells = [Cell(_record_call, (marker, 4)) for _ in range(3)]
+        run_cells_detailed(
+            cells, jobs=1, cache=None, on_result=arrived.append
+        )
+        assert sorted(result.index for result in arrived) == [0, 1, 2]
+        assert sum(1 for result in arrived if result.deduped) == 2
+
+
+# --------------------------------------------------------------------------
 # DES engine edge cases
 
 
