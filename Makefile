@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke serve-smoke conformance coverage
+.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke serve-smoke kvserve-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
@@ -18,7 +18,7 @@ bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
 		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py \
 		benchmarks/bench_trace.py benchmarks/bench_sharded_des.py \
-		benchmarks/bench_recovery.py -q
+		benchmarks/bench_recovery.py benchmarks/bench_kvserve.py -q
 
 # Append fresh samples to BENCH_results.json, then fail if any tracked
 # bench got >25% slower than its previous sample (2ms jitter floor).
@@ -83,3 +83,11 @@ shard-smoke:
 serve-smoke:
 	timeout 180 env PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 	@echo "serve-smoke: OK"
+
+# The hybrid serving engine end to end: a tiny open-loop sweep over
+# every (value tier, background) arm, asserting the tail ordering the
+# paper's motivation leans on (DRAM < CXL; QoS recovers the hog's
+# victim).
+kvserve-smoke:
+	timeout 120 env PYTHONPATH=src $(PYTHON) scripts/kvserve_smoke.py
+	@echo "kvserve-smoke: OK"

@@ -1,0 +1,136 @@
+"""Hybrid serving-engine benchmark: the million-request tentpole.
+
+Two acceptance bars, both recorded in ``BENCH_results.json``:
+
+* ``bench_kvserve_speedup`` — requests per wall-second, hybrid engine vs
+  the per-event DES reference on the identical serving cell. The
+  multiple is algorithmic (vectorized recurrences + one fluid solve
+  replace ~15 heap events per GET), so it holds on a single core; the
+  assertion floor is far below the measured ~1000x so a loaded runner
+  cannot flake the gate.
+* ``bench_kvserve_million`` — a 1,000,000-request multi-tenant sweep
+  (four tenants, mixed arrival shapes, colocated background hog) must
+  finish in seconds, and its merged cross-tenant p99/p999 land in the
+  trajectory file.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kvserve.py -q
+"""
+
+import time
+
+from repro.apps import (
+    ArrivalSpec,
+    HybridKvServer,
+    KvServerModel,
+    KvWorkload,
+    TenantSpec,
+)
+
+#: Generous hang-catching ceilings (seconds), not jitter-sensitive bars.
+DES_CEILING_S = 60.0
+MILLION_CEILING_S = 30.0
+
+#: The ISSUE's floor is >=100x requests/wall-second; measured ~1000x+.
+#: Asserting the floor itself (not the measurement) keeps the gate
+#: robust to scheduler jitter while the recorded metadata tracks the
+#: true multiple.
+MIN_SPEEDUP = 100.0
+
+_DES_REQUESTS = 1_000
+_HYBRID_REQUESTS = 200_000
+_QPS = 2_000_000.0
+
+
+def bench_kvserve_speedup(benchmark, p9634, record_timing):
+    """Hybrid vs per-event DES requests/wall-second on one serving cell."""
+    workload_des = KvWorkload(qps=_QPS, requests=_DES_REQUESTS)
+    background = [core.core_id for core in p9634.cores_of_ccd(0)[4:]]
+
+    des = KvServerModel(p9634, workers=4, seed=0, with_dram_jitter=False)
+    began = time.perf_counter()
+    des.serve(workload_des, background_cores=background)
+    des_s = time.perf_counter() - began
+    des_rate = _DES_REQUESTS / des_s
+
+    hybrid = HybridKvServer(p9634, seed=0)
+    workload_hybrid = KvWorkload(qps=_QPS, requests=_HYBRID_REQUESTS)
+
+    def serve():
+        return hybrid.serve(
+            workload_hybrid, workers=4, background_cores=background
+        )
+
+    benchmark.pedantic(serve, rounds=3, iterations=1)
+    hybrid_s = benchmark.stats.stats.min
+    hybrid_rate = _HYBRID_REQUESTS / hybrid_s
+
+    speedup = hybrid_rate / des_rate
+    record_timing(
+        "bench_kvserve_speedup",
+        hybrid_s,
+        des_s=des_s,
+        des_requests=_DES_REQUESTS,
+        hybrid_requests=_HYBRID_REQUESTS,
+        des_requests_per_wall_second=des_rate,
+        hybrid_requests_per_wall_second=hybrid_rate,
+        speedup=speedup,
+    )
+    assert speedup >= MIN_SPEEDUP
+    assert des_s < DES_CEILING_S
+
+
+def bench_kvserve_million(benchmark, p9634, record_timing):
+    """A 1M-request, four-tenant open-loop sweep with colocated background."""
+    per_tenant = 250_000
+    tenants = [
+        TenantSpec(
+            name="web", workload=KvWorkload(qps=_QPS, requests=per_tenant),
+            server_ccd=0, workers=4,
+        ),
+        TenantSpec(
+            name="feed", workload=KvWorkload(qps=_QPS, requests=per_tenant),
+            server_ccd=1, workers=4,
+            arrival=ArrivalSpec(kind="onoff"),
+        ),
+        TenantSpec(
+            name="ads",
+            workload=KvWorkload(
+                qps=_QPS, requests=per_tenant, value_tier="cxl"
+            ),
+            server_ccd=2, workers=4,
+            arrival=ArrivalSpec(kind="diurnal", levels=(1.0, 2.0, 0.5, 0.5)),
+        ),
+        TenantSpec(
+            name="batch",
+            workload=KvWorkload(qps=_QPS, requests=per_tenant, index_depth=4),
+            server_ccd=3, workers=4,
+        ),
+    ]
+    total = sum(t.workload.requests for t in tenants)
+    assert total >= 1_000_000
+    background = [core.core_id for core in p9634.cores_of_ccd(0)[4:]]
+    server = HybridKvServer(p9634, seed=0)
+
+    def sweep():
+        return server.serve_tenants(tenants, background_cores=background)
+
+    reports, merged = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    wall_s = benchmark.stats.stats.min
+
+    record_timing(
+        "bench_kvserve_million",
+        wall_s,
+        requests=total,
+        tenants=len(tenants),
+        requests_per_wall_second=total / wall_s,
+        p50_ns=merged.p50,
+        p99_ns=merged.p99,
+        p999_ns=merged.p999,
+    )
+    assert merged.count == total
+    assert len(reports) == len(tenants)
+    # Tails must be ordered and finite: the sweep is stable, not saturated.
+    assert merged.p50 <= merged.p99 <= merged.p999 <= merged.maximum
+    assert wall_s < MILLION_CEILING_S

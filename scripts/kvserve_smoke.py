@@ -1,0 +1,88 @@
+"""End-to-end smoke test for the hybrid kvstore serving sweep.
+
+Runs a tiny open-loop sweep (every (tier, background) arm on the 9634
+preset, a few thousand requests per arm) through the same cells `repro
+kvstore` fans out, then asserts the physics the paper's motivation
+leans on:
+
+1. value tiering costs: the CXL arm's p99 sits above local DRAM's on
+   every background arm;
+2. colocation hurts: the unthrottled same-CCD hog moves the victim's
+   p99 above the background-off tail;
+3. the QoS grant recovers the victim: the paced arm's p99 drops back
+   under the hog's, within a small premium of background-off.
+
+Run via ``make kvserve-smoke`` (or directly)::
+
+    PYTHONPATH=src python scripts/kvserve_smoke.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import kvserve
+from repro.platform.presets import epyc_9634
+
+REQUESTS = 5_000
+QPS = 2_000_000.0
+
+#: The paced victim may keep at most this multiple of the quiet p99 —
+#: an 8 GB/s grant leaves a little residual interference, not a tail.
+QOS_RECOVERY_CEILING = 1.25
+
+
+def fail(message):
+    print(f"kvserve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    platform = epyc_9634()
+    points = {}
+    for tier, background in kvserve.arms_for(platform):
+        points[(tier, background)] = kvserve.run_point(
+            platform, tier, background, qps=QPS, requests=REQUESTS
+        )
+    if ("cxl", "off") not in points:
+        fail("9634 preset lost its CXL tier — sweep grid incomplete")
+
+    for background in kvserve.ARMS:
+        dram = points[("dram", background)]
+        cxl = points[("cxl", background)]
+        print(
+            f"kvserve-smoke: {background:>3}: p99 dram {dram.p99_ns:7.1f} ns"
+            f" | cxl {cxl.p99_ns:7.1f} ns"
+        )
+        if not dram.p99_ns < cxl.p99_ns:
+            fail(
+                f"CXL premium missing under {background!r}: "
+                f"dram p99 {dram.p99_ns:.1f} !< cxl p99 {cxl.p99_ns:.1f}"
+            )
+
+    for tier in ("dram", "cxl"):
+        off = points[(tier, "off")]
+        hog = points[(tier, "hog")]
+        qos = points[(tier, "qos")]
+        if not off.p99_ns < hog.p99_ns:
+            fail(
+                f"{tier}: colocated hog did not move the tail "
+                f"(off {off.p99_ns:.1f} !< hog {hog.p99_ns:.1f})"
+            )
+        if not qos.p99_ns < hog.p99_ns:
+            fail(
+                f"{tier}: QoS grant did not recover the victim "
+                f"(qos {qos.p99_ns:.1f} !< hog {hog.p99_ns:.1f})"
+            )
+        if not qos.p99_ns <= off.p99_ns * QOS_RECOVERY_CEILING:
+            fail(
+                f"{tier}: paced victim still {qos.p99_ns / off.p99_ns:.2f}x "
+                f"the quiet p99 (ceiling {QOS_RECOVERY_CEILING}x)"
+            )
+
+    print("kvserve-smoke: tail ordering holds on every arm")
+
+
+if __name__ == "__main__":
+    main()

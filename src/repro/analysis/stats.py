@@ -2,18 +2,95 @@
 
 The paper reports average and tail (P999) latency throughout (Figure 3);
 :class:`LatencyStats` bundles both plus the usual distribution summary.
+
+Multi-million-sample runs (the open-loop kvstore serving sweeps) never
+need to hold every latency in one Python list: each shard keeps its own
+sorted numpy array and :meth:`LatencyStats.merge` computes exact
+percentiles across shards by multi-array order-statistic selection
+(``searchsorted`` window narrowing — O(shards · log n) per percentile,
+O(shards) extra memory). When even per-shard arrays are too much,
+:class:`SampleReservoir` keeps a deterministic fixed-size uniform sample
+(vectorized Algorithm R on a seeded generator) alongside *exact* streaming
+count/mean/min/max/std, trading only the percentiles for approximation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import MeasurementError
 
-__all__ = ["percentile", "LatencyStats"]
+__all__ = ["percentile", "LatencyStats", "SampleReservoir"]
+
+#: Below this many remaining candidates the multi-array selection just
+#: concatenates the windows — cheaper than further narrowing passes.
+_SELECT_DIRECT = 4096
+
+
+def _kth_of_sorted(parts: Sequence[np.ndarray], k: int) -> float:
+    """The ``k``-th smallest (0-based) value across sorted arrays.
+
+    Pivot-and-narrow selection: counts below/through a pivot come from
+    ``searchsorted`` on each part's live window, so memory stays O(parts)
+    no matter how many samples the parts hold.
+    """
+    windows: List[Tuple[np.ndarray, int, int]] = [
+        (part, 0, part.size) for part in parts if part.size
+    ]
+    while True:
+        total = sum(hi - lo for __, lo, hi in windows)
+        if total <= _SELECT_DIRECT:
+            merged = np.concatenate(
+                [part[lo:hi] for part, lo, hi in windows]
+            )
+            return float(np.partition(merged, k)[k])
+        # Pivot: the middle element of the largest live window.
+        part, lo, hi = max(windows, key=lambda w: w[2] - w[1])
+        pivot = part[(lo + hi) // 2]
+        below = 0
+        through = 0
+        cuts = []
+        for part, lo, hi in windows:
+            left = int(np.searchsorted(part[lo:hi], pivot, side="left"))
+            right = int(np.searchsorted(part[lo:hi], pivot, side="right"))
+            below += left
+            through += right
+            cuts.append((left, right))
+        if k < below:
+            windows = [
+                (part, lo, lo + left)
+                for (part, lo, hi), (left, __) in zip(windows, cuts)
+            ]
+        elif k < through:
+            return float(pivot)
+        else:
+            k -= through
+            windows = [
+                (part, lo + right, hi)
+                for (part, lo, hi), (__, right) in zip(windows, cuts)
+            ]
+        windows = [w for w in windows if w[2] > w[1]]
+
+
+def _percentiles_of_sorted(
+    parts: Sequence[np.ndarray], qs: Sequence[float], count: int
+) -> List[float]:
+    """Exact linear-interpolation percentiles over sorted shards."""
+    values = []
+    for q in qs:
+        rank = q / 100.0 * (count - 1)
+        j = int(rank)
+        gamma = rank - j
+        low = _kth_of_sorted(parts, j)
+        if gamma == 0.0 or j + 1 >= count:
+            values.append(low)
+            continue
+        high = _kth_of_sorted(parts, j + 1)
+        values.append(low + gamma * (high - low))
+    return values
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -55,6 +132,82 @@ class LatencyStats:
             std=float(data.std()),
         )
 
+    @classmethod
+    def from_sorted(cls, samples: np.ndarray) -> "LatencyStats":
+        """Summarize an already-sorted 1-D array without re-sorting it.
+
+        Percentiles come from direct index interpolation on the sorted
+        data — the path :meth:`merge` and the batched engines use after
+        they have sorted shards once.
+        """
+        data = np.asarray(samples, dtype=float)
+        if data.ndim != 1:
+            raise MeasurementError("from_sorted needs a 1-D sample array")
+        if data.size == 0:
+            raise MeasurementError("cannot summarize an empty sample set")
+        if data.size > 1 and np.any(np.diff(data) < 0):
+            raise MeasurementError("from_sorted needs non-decreasing samples")
+        n = data.size
+        values = []
+        for q in (50.0, 99.0, 99.9):
+            rank = q / 100.0 * (n - 1)
+            j = int(rank)
+            gamma = rank - j
+            low = float(data[j])
+            high = float(data[min(j + 1, n - 1)])
+            values.append(low + gamma * (high - low))
+        return cls(
+            count=int(n),
+            mean=float(data.mean()),
+            p50=values[0],
+            p99=values[1],
+            p999=values[2],
+            minimum=float(data[0]),
+            maximum=float(data[-1]),
+            std=float(data.std()),
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence[np.ndarray]) -> "LatencyStats":
+        """Exact summary across per-shard *sorted* sample arrays.
+
+        Never concatenates the shards: moments stream shard by shard and
+        tail percentiles come from multi-array order-statistic selection,
+        so the extra memory is O(shards), not O(samples). The result is
+        identical (to float arithmetic) to ``from_samples`` over the
+        concatenation.
+        """
+        arrays = []
+        for part in parts:
+            data = np.asarray(part, dtype=float)
+            if data.ndim != 1:
+                raise MeasurementError("merge needs 1-D sample arrays")
+            if data.size > 1 and np.any(np.diff(data) < 0):
+                raise MeasurementError(
+                    "merge needs non-decreasing per-shard samples"
+                )
+            if data.size:
+                arrays.append(data)
+        count = sum(int(a.size) for a in arrays)
+        if count == 0:
+            raise MeasurementError("cannot summarize an empty sample set")
+        total = sum(float(a.sum()) for a in arrays)
+        mean = total / count
+        sumsq = sum(float(np.square(a - mean).sum()) for a in arrays)
+        p50, p99, p999 = _percentiles_of_sorted(
+            arrays, (50.0, 99.0, 99.9), count
+        )
+        return cls(
+            count=count,
+            mean=mean,
+            p50=p50,
+            p99=p99,
+            p999=p999,
+            minimum=min(float(a[0]) for a in arrays),
+            maximum=max(float(a[-1]) for a in arrays),
+            std=float(np.sqrt(sumsq / count)),
+        )
+
     def mean_confidence_ns(self, z: float = 1.96) -> float:
         """Half-width of the normal-approximation CI on the mean."""
         if self.count < 2:
@@ -65,4 +218,97 @@ class LatencyStats:
         return (
             f"n={self.count} mean={self.mean:.1f}ns p50={self.p50:.1f}ns "
             f"p99={self.p99:.1f}ns p999={self.p999:.1f}ns max={self.maximum:.1f}ns"
+        )
+
+
+class SampleReservoir:
+    """A deterministic fixed-size uniform sample of an unbounded stream.
+
+    Vectorized Algorithm R on a seeded PCG64 generator: item ``i``
+    (1-based) replaces a uniformly random reservoir slot with probability
+    ``capacity / i``. Count, mean, min, max, and std are tracked exactly
+    as streaming moments; only the percentiles are estimated from the
+    reservoir. The same seed and the same sequence of ``extend`` batches
+    reproduce the same reservoir bit-for-bit (batch draws consume the
+    generator in the same order as scalar draws would).
+    """
+
+    __slots__ = (
+        "capacity", "_rng", "_buffer", "_count",
+        "_sum", "_sumsq", "_min", "_max",
+    )
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise MeasurementError(
+                f"reservoir capacity must be >= 1, got {capacity}"
+            )
+        from repro.sim.rng import SplitRng
+
+        self.capacity = int(capacity)
+        self._rng = SplitRng(seed).stream("sample-reservoir")
+        self._buffer = np.empty(self.capacity, dtype=float)
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        """Items seen so far (not the reservoir occupancy)."""
+        return self._count
+
+    def extend(self, samples: Sequence[float]) -> None:
+        """Fold a batch of samples into the reservoir and exact moments."""
+        data = np.asarray(samples, dtype=float).ravel()
+        if data.size == 0:
+            return
+        self._sum += float(data.sum())
+        self._sumsq += float(np.square(data).sum())
+        self._min = min(self._min, float(data.min()))
+        self._max = max(self._max, float(data.max()))
+        seen = self._count
+        self._count += int(data.size)
+        fill = min(max(self.capacity - seen, 0), data.size)
+        if fill:
+            self._buffer[seen:seen + fill] = data[:fill]
+            data = data[fill:]
+            seen += fill
+        if data.size == 0:
+            return
+        # Algorithm R, batched: item with 1-based global index i keeps a
+        # uniform draw in [0, i); draws below capacity replace that slot.
+        # Fancy assignment applies accepted items in order, so duplicate
+        # slots keep the latest item — exactly the scalar algorithm.
+        indices = np.arange(seen + 1, seen + data.size + 1)
+        slots = self._rng.integers(0, indices)
+        accept = slots < self.capacity
+        self._buffer[slots[accept]] = data[accept]
+
+    def stats(self) -> LatencyStats:
+        """Exact moments, reservoir-estimated percentiles."""
+        if self._count == 0:
+            raise MeasurementError("cannot summarize an empty sample set")
+        held = np.sort(self._buffer[: min(self._count, self.capacity)])
+        n = held.size
+        values = []
+        for q in (50.0, 99.0, 99.9):
+            rank = q / 100.0 * (n - 1)
+            j = int(rank)
+            gamma = rank - j
+            low = float(held[j])
+            high = float(held[min(j + 1, n - 1)])
+            values.append(low + gamma * (high - low))
+        mean = self._sum / self._count
+        variance = max(self._sumsq / self._count - mean * mean, 0.0)
+        return LatencyStats(
+            count=self._count,
+            mean=mean,
+            p50=values[0],
+            p99=values[1],
+            p999=values[2],
+            minimum=self._min,
+            maximum=self._max,
+            std=float(np.sqrt(variance)),
         )

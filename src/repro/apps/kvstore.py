@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.analysis.stats import LatencyStats
 from repro.core.loadgen import ClosedLoopIssuer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MeasurementError
 from repro.platform.numa import Position
 from repro.platform.topology import Platform
 from repro.sim.engine import Environment, Event, Resource
@@ -83,6 +83,7 @@ class KvServerModel:
         server_ccd: int = 0,
         workers: int = 4,
         seed: int = 0,
+        with_dram_jitter: bool = True,
     ) -> None:
         if server_ccd not in platform.ccds:
             raise ConfigurationError(f"unknown CCD {server_ccd}")
@@ -95,6 +96,7 @@ class KvServerModel:
         self.server_ccd = server_ccd
         self.worker_cores = [core.core_id for core in cores[:workers]]
         self.seed = seed
+        self.with_dram_jitter = with_dram_jitter
 
     # The NIC path cost of one ingress or egress crossing: hub + RC + P
     # Link one way (requests are small; serialization is negligible).
@@ -115,7 +117,10 @@ class KvServerModel:
         (what a traffic manager grant would enforce).
         """
         env = Environment()
-        resolver = PathResolver(env, self.platform, seed=self.seed)
+        resolver = PathResolver(
+            env, self.platform, seed=self.seed,
+            with_dram_jitter=self.with_dram_jitter,
+        )
         executor = TransactionExecutor(env)
         rng = SplitRng(self.seed).stream("kv-arrivals")
 
@@ -167,10 +172,12 @@ class KvServerModel:
         pool = Resource(env, capacity=len(self.worker_cores))
         latencies: List[float] = []
         done_at: List[float] = [0.0]
+        first_at: List[float] = [float("inf")]
         all_served = env.event()
 
         def handle(arrival_index: int) -> Generator[Event, None, None]:
             start = env.now
+            first_at[0] = min(first_at[0], start)
             with pool.request() as grant:
                 yield grant
                 core = self.worker_cores[
@@ -203,9 +210,17 @@ class KvServerModel:
         env.run(all_served)
         if not latencies:
             raise ConfigurationError("no requests completed")
-        achieved = len(latencies) / done_at[0] * 1e9 if done_at[0] else 0.0
+        # Throughput over the span the server was actually serving: first
+        # arrival to last completion. Dividing by the absolute clock would
+        # count pre-arrival idle (slow-ramp traces) against the server.
+        span = done_at[0] - first_at[0]
+        if span <= 0.0:
+            raise MeasurementError(
+                "degenerate serving span: all requests arrived and "
+                "completed at one instant — achieved QPS is undefined"
+            )
         return ServiceReport(
             workload,
             LatencyStats.from_samples(np.asarray(latencies)),
-            achieved_qps=float(achieved),
+            achieved_qps=float(len(latencies) / span * 1e9),
         )

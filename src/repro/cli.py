@@ -355,6 +355,27 @@ def build_parser() -> argparse.ArgumentParser:
             "'-' skips the file and prints only the breakdown)"
         ),
     )
+    kvstore_cmd = add(
+        "kvstore",
+        "open-loop kvstore serving tails (hybrid batched/fluid engine)",
+        platform_default="9634",
+    )
+    kvstore_cmd.add_argument(
+        "--qps", type=float, default=2_000_000.0,
+        help="offered open-loop arrival rate (default 2,000,000)",
+    )
+    kvstore_cmd.add_argument(
+        "--requests", type=int, default=100_000,
+        help="requests served per (tier, background) arm (default 100,000)",
+    )
+    kvstore_cmd.add_argument(
+        "--engine", default="hybrid", choices=("hybrid", "des"),
+        help=(
+            "hybrid: exact batched recurrences with fluid-coupled "
+            "background (default); des: the per-event reference model, "
+            "for small-cell validation"
+        ),
+    )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
     add("collective", "all-reduce algorithm costs across chiplets (§4 #6)")
@@ -452,7 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     submit_cmd.add_argument(
-        "kind", choices=("netstack", "chaos", "trace"),
+        "kind", choices=("netstack", "chaos", "trace", "kvstore"),
         help="which experiment family the batch runs",
     )
     submit_cmd.add_argument(
@@ -501,6 +522,14 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment-specific)",
     )
     submit_cmd.add_argument(
+        "--qps", type=float, default=None, metavar="RATE",
+        help="kvstore: offered open-loop arrival rate (default 2,000,000)",
+    )
+    submit_cmd.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="kvstore: requests per serving arm (default 100,000)",
+    )
+    submit_cmd.add_argument(
         "--shards", type=_shards_arg, default=None, metavar="N",
         help="run the batch on the sharded DES engine with N shards "
              "(cached separately per shard count)",
@@ -541,6 +570,11 @@ def _submit_spec(args, platform_name: str) -> dict:
             params["severities"] = [args.severity]
         if args.transactions is not None:
             params["transactions_per_core"] = args.transactions
+    elif args.kind == "kvstore":
+        if args.qps is not None:
+            params["qps"] = args.qps
+        if args.requests is not None:
+            params["requests"] = args.requests
     else:
         params["cell"] = args.cell
         if args.samples is not None:
@@ -874,6 +908,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # value) is a usage error, not a traceback.
                 build_parser().error(str(error))
             out.append(sharded_cell.render(platform.name, results))
+
+    elif args.command == "kvstore":
+        from repro.experiments import kvserve
+
+        for platform in _platforms_for(args.platform):
+            try:
+                results = kvserve.run(
+                    platform,
+                    qps=args.qps,
+                    requests=args.requests,
+                    engine=args.engine,
+                    seed=args.seed,
+                    jobs=jobs,
+                )
+            except ConfigurationError as error:
+                build_parser().error(str(error))
+            out.append(kvserve.render(platform.name, results))
 
     elif args.command == "trace":
         from repro.experiments import trace as trace_exp

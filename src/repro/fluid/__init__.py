@@ -19,6 +19,11 @@ from repro.fluid.adaptation import (
     InstantAdaptation,
     SecondOrderAdaptation,
 )
+from repro.fluid.coupling import (
+    background_utilizations,
+    effective_service_ns,
+    stage_channel,
+)
 from repro.fluid.solver import (
     BACKEND_ENV_VAR,
     Channel,
@@ -43,6 +48,9 @@ __all__ = [
     "resolve_backend",
     "solve",
     "solve_vectorized",
+    "background_utilizations",
+    "effective_service_ns",
+    "stage_channel",
     "DemandSchedule",
     "FluidSimulator",
     "FlowTrace",

@@ -8,8 +8,8 @@ two clients asking for the same work produce byte-identical specs — and
 therefore the same cells, the same cache keys, and the same dedup
 behaviour.
 
-Three kinds cover the service's initial surface, one per family of the
-repo's experiment layers:
+Four kinds cover the service's surface, one per family of the repo's
+experiment layers:
 
 * ``netstack`` — the §4 stack-on/off contention comparison
   (:func:`repro.experiments.netstack.run_point`), one cell per
@@ -20,7 +20,10 @@ repo's experiment layers:
 * ``trace`` — the span-traced cells
   (:mod:`repro.experiments.trace`), whose values carry
   :class:`~repro.trace.TraceRecording` artifacts the server exports as
-  Perfetto JSON handles.
+  Perfetto JSON handles;
+* ``kvstore`` — the open-loop serving-tail sweep
+  (:func:`repro.experiments.kvserve.run_point`), one cell per
+  (value tier, background arm) on the hybrid batched/fluid engine.
 
 Execution *variants* (sharded DES engine, recovery layer) are carried in
 the spec, not in the server's environment: :func:`variant_raws` exposes
@@ -52,7 +55,7 @@ __all__ = [
 ]
 
 #: The submittable experiment kinds, in presentation order.
-KINDS: Tuple[str, ...] = ("netstack", "chaos", "trace")
+KINDS: Tuple[str, ...] = ("netstack", "chaos", "trace", "kvstore")
 
 #: Platform presets the service accepts (the CLI's map raises SystemExit
 #: on bad names; the service needs a catchable ConfigurationError).
@@ -196,10 +199,22 @@ def _normalize_trace(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"cell": cell, "samples": samples}
 
 
+def _normalize_kvserve(params: Dict[str, Any]) -> Dict[str, Any]:
+    qps = params.get("qps", 2_000_000.0)
+    _require(
+        isinstance(qps, (int, float)) and not isinstance(qps, bool)
+        and float(qps) > 0.0,
+        f"params.qps must be a positive number, got {qps!r}",
+    )
+    requests = _as_int(params.get("requests", 100_000), "params.requests", 10)
+    return {"qps": float(qps), "requests": requests}
+
+
 _NORMALIZERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "netstack": _normalize_netstack,
     "chaos": _normalize_chaos,
     "trace": _normalize_trace,
+    "kvstore": _normalize_kvserve,
 }
 
 
@@ -338,6 +353,22 @@ def build_cells(spec: Dict[str, Any]) -> List[Cell]:
             )
             for severity in params["severities"]
         ]
+    if spec["kind"] == "kvstore":
+        from repro.experiments.kvserve import arms_for, run_point
+
+        return [
+            Cell(
+                run_point,
+                (platform, tier, background),
+                dict(
+                    qps=params["qps"],
+                    requests=params["requests"],
+                    engine="hybrid",
+                    seed=seed,
+                ),
+            )
+            for tier, background in arms_for(platform)
+        ]
     from repro.experiments.trace import _netstack_cell, _positions, _table2_cell
 
     if params["cell"] == "netstack":
@@ -367,6 +398,10 @@ def render_results(spec: Dict[str, Any], results: Sequence[CellResult]) -> str:
         return render(platform.name, results)
     if spec["kind"] == "chaos":
         from repro.experiments.chaos import render
+
+        return render(platform.name, results)
+    if spec["kind"] == "kvstore":
+        from repro.experiments.kvserve import render
 
         return render(platform.name, results)
     from repro.experiments.trace import render

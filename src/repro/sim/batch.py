@@ -41,6 +41,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "fifo_departures",
+    "open_loop_departures",
     "BatchStage",
     "BatchPool",
     "BatchLane",
@@ -77,6 +78,65 @@ def fifo_departures(arrivals, service_ns: float, servers: int = 1) -> np.ndarray
             + service_ns * (idx + 1.0)
         )
     return out
+
+
+def open_loop_departures(arrivals, service_ns, servers: int = 1) -> np.ndarray:
+    """Exact departure times of an open-loop FIFO, vectorized.
+
+    ``arrivals`` is a sorted non-decreasing array of request arrival
+    times. ``service_ns`` may be:
+
+    * a scalar — constant service; identical to :func:`fifo_departures`;
+    * an array of length ``servers`` (with ``servers > 1`` or a 1-element
+      array) — per-server constant service, where request ``i`` is bound
+      to server ``i % servers`` (the worker-pool assignment the DES
+      kvstore model uses), so each interleaved chain is an independent
+      single-server FIFO with its own constant service;
+    * an array of length ``len(arrivals)`` with ``servers == 1`` —
+      per-request service, computed through the cumulative-sum
+      generalization of the prefix-max recurrence:
+      ``d_i = S_i + max_{j <= i} (a_j - S_{j-1})`` with
+      ``S_i = sum(service[:i+1])``.
+
+    All three forms are exact recurrences, not approximations.
+    """
+    a = np.asarray(arrivals, dtype=float)
+    if a.ndim != 1:
+        raise ConfigurationError("arrivals must be a 1-D array")
+    if servers < 1:
+        raise ConfigurationError(f"servers must be >= 1, got {servers}")
+    if a.size > 1 and np.any(np.diff(a) < 0):
+        raise ConfigurationError("arrivals must be sorted non-decreasing")
+    service = np.asarray(service_ns, dtype=float)
+    if np.any(service < 0):
+        raise ConfigurationError("negative service time")
+    if service.ndim == 0:
+        return fifo_departures(a, float(service), servers)
+    if service.ndim != 1:
+        raise ConfigurationError("service_ns must be a scalar or 1-D array")
+    if a.size == 0:
+        return a.copy()
+    if service.size == servers:
+        out = np.empty_like(a)
+        for lane in range(min(servers, a.size)):
+            chain = a[lane::servers]
+            s = float(service[lane])
+            idx = np.arange(chain.size, dtype=float)
+            out[lane::servers] = (
+                np.maximum.accumulate(chain - s * idx) + s * (idx + 1.0)
+            )
+        return out
+    if servers == 1 and service.size == a.size:
+        cum = np.cumsum(service)
+        start = np.empty_like(cum)
+        start[0] = 0.0
+        start[1:] = cum[:-1]
+        return cum + np.maximum.accumulate(a - start)
+    raise ConfigurationError(
+        "service_ns array must have length servers "
+        f"({servers}) or, for a single server, length len(arrivals) "
+        f"({a.size}); got {service.size}"
+    )
 
 
 class BatchStage:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.report import format_pair, render_table
-from repro.analysis.stats import LatencyStats, percentile
+from repro.analysis.stats import LatencyStats, SampleReservoir, percentile
 from repro.analysis.timeseries import TimeSeries
 from repro.errors import MeasurementError
 
@@ -128,3 +128,93 @@ class TestReport:
     def test_render_rejects_ragged_rows(self):
         with pytest.raises(ValueError):
             render_table(["a", "b"], [["only-one"]])
+
+
+class TestBoundedMemoryStats:
+    """The bounded-memory path: from_sorted, merge, SampleReservoir."""
+
+    def test_from_sorted_matches_from_samples(self):
+        rng = np.random.default_rng(5)
+        data = rng.exponential(100.0, size=2500)
+        direct = LatencyStats.from_samples(data)
+        sorted_ = LatencyStats.from_sorted(np.sort(data))
+        assert sorted_.count == direct.count
+        assert sorted_.mean == pytest.approx(direct.mean)
+        assert sorted_.p50 == pytest.approx(direct.p50)
+        assert sorted_.p99 == pytest.approx(direct.p99)
+        assert sorted_.p999 == pytest.approx(direct.p999)
+        assert sorted_.minimum == direct.minimum
+        assert sorted_.maximum == direct.maximum
+
+    def test_from_sorted_rejects_unsorted_and_empty(self):
+        with pytest.raises(MeasurementError):
+            LatencyStats.from_sorted(np.array([2.0, 1.0]))
+        with pytest.raises(MeasurementError):
+            LatencyStats.from_sorted(np.array([]))
+        with pytest.raises(MeasurementError):
+            LatencyStats.from_sorted(np.ones((2, 2)))
+
+    def test_merge_is_exact_over_shards(self):
+        # Merging per-shard sorted arrays must reproduce the percentiles
+        # of the concatenation exactly — including when the total is
+        # large enough to take the pivot-and-narrow selection path.
+        rng = np.random.default_rng(6)
+        parts = [np.sort(rng.exponential(100.0, size=n))
+                 for n in (3000, 2500, 1)]
+        merged = LatencyStats.merge(parts)
+        whole = LatencyStats.from_samples(np.concatenate(parts))
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.std == pytest.approx(whole.std)
+        assert merged.p50 == pytest.approx(whole.p50)
+        assert merged.p99 == pytest.approx(whole.p99)
+        assert merged.p999 == pytest.approx(whole.p999)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            LatencyStats.merge([])
+
+    def test_reservoir_exact_below_capacity(self):
+        rng = np.random.default_rng(7)
+        data = rng.exponential(50.0, size=900)
+        reservoir = SampleReservoir(capacity=1024)
+        reservoir.extend(data)
+        stats = reservoir.stats()
+        whole = LatencyStats.from_samples(data)
+        assert stats.count == whole.count
+        assert stats.mean == pytest.approx(whole.mean)
+        assert stats.p99 == pytest.approx(whole.p99)
+
+    def test_reservoir_moments_exact_beyond_capacity(self):
+        rng = np.random.default_rng(8)
+        data = rng.exponential(50.0, size=100_000)
+        reservoir = SampleReservoir(capacity=4096)
+        for chunk in np.split(data, 10):
+            reservoir.extend(chunk)
+        stats = reservoir.stats()
+        whole = LatencyStats.from_samples(data)
+        # Count/mean/std/min/max are streamed exactly; percentiles come
+        # from the fixed-size reservoir and are only approximate.
+        assert stats.count == whole.count
+        assert stats.mean == pytest.approx(whole.mean)
+        assert stats.std == pytest.approx(whole.std)
+        assert stats.minimum == whole.minimum
+        assert stats.maximum == whole.maximum
+        assert stats.p50 == pytest.approx(whole.p50, rel=0.05)
+        assert stats.p99 == pytest.approx(whole.p99, rel=0.10)
+
+    def test_reservoir_is_deterministic(self):
+        rng = np.random.default_rng(9)
+        data = rng.exponential(50.0, size=20_000)
+        def run():
+            reservoir = SampleReservoir(capacity=512, seed=3)
+            for chunk in np.split(data, 4):
+                reservoir.extend(chunk)
+            return reservoir.stats()
+        assert run() == run()
+
+    def test_reservoir_rejects_bad_capacity(self):
+        with pytest.raises(MeasurementError):
+            SampleReservoir(capacity=0)

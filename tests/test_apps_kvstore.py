@@ -91,3 +91,17 @@ class TestColocation:
             background_rate_gbps=8.0,
         )
         assert paced.latency.mean < noisy.latency.mean
+
+
+class TestAchievedQps:
+    def test_tracks_offered_rate(self, server):
+        # Open-loop achieved QPS is count over the first-arrival→last-
+        # completion span, so a stable server approximates the offered
+        # rate (dividing by absolute completion time would understate it
+        # by the first request's arrival offset).
+        report = server.serve(_workload(qps=500_000, requests=400))
+        assert report.achieved_qps == pytest.approx(500_000, rel=0.10)
+
+    def test_overload_caps_achieved_below_offered(self, server):
+        report = server.serve(_workload(qps=8_000_000, requests=400))
+        assert report.achieved_qps < 8_000_000 * 0.95

@@ -21,6 +21,7 @@ from repro.sim.batch import (
     BatchPool,
     BatchStage,
     fifo_departures,
+    open_loop_departures,
     simulate_closed_loops,
 )
 from repro.sim.calendar import EventCalendar
@@ -354,3 +355,66 @@ class TestEngineVariantKeys:
         monkeypatch.setenv("REPRO_DES_SHARDS", "4")
         four_key = cache.key_for(jain_index, ((1.0, 2.0),), {})
         assert len({serial_key, sharded_key, four_key}) == 3
+
+
+# ------------------------------------------------- open-loop recurrences
+
+
+def _brute_force_open_loop(arrivals, service_of_lane, servers):
+    """Per-event reference for the lane-bound open-loop pool (request
+    ``i`` serves on lane ``i % servers``, matching the DES core binding)."""
+    free = [0.0] * servers
+    out = []
+    for i, arrival in enumerate(arrivals):
+        lane = i % servers
+        begin = max(arrival, free[lane])
+        free[lane] = begin + service_of_lane[lane]
+        out.append(free[lane])
+    return out
+
+
+class TestOpenLoopDepartures:
+    @pytest.mark.parametrize("servers", [1, 2, 3, 5])
+    def test_scalar_service_matches_brute_force(self, servers):
+        rng = np.random.default_rng(11)
+        arrivals = np.sort(rng.uniform(0.0, 80.0, size=64))
+        got = open_loop_departures(arrivals, 3.5, servers=servers)
+        want = _brute_force_open_loop(arrivals, [3.5] * servers, servers)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_per_server_service_matches_brute_force(self):
+        rng = np.random.default_rng(12)
+        arrivals = np.sort(rng.uniform(0.0, 80.0, size=64))
+        service = np.array([2.0, 5.0, 3.0])
+        got = open_loop_departures(arrivals, service, servers=3)
+        want = _brute_force_open_loop(arrivals, service, 3)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_per_job_service_matches_serial_queue(self):
+        rng = np.random.default_rng(13)
+        arrivals = np.sort(rng.uniform(0.0, 40.0, size=50))
+        service = rng.uniform(0.5, 4.0, size=50)
+        got = open_loop_departures(arrivals, service, servers=1)
+        free, want = 0.0, []
+        for arrival, s in zip(arrivals, service):
+            free = max(arrival, free) + s
+            want.append(free)
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-9)
+
+    def test_scalar_path_is_fifo_departures(self):
+        arrivals = np.array([0.0, 1.0, 1.5, 9.0])
+        np.testing.assert_array_equal(
+            open_loop_departures(arrivals, 2.0, servers=2),
+            fifo_departures(arrivals, 2.0, servers=2),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            open_loop_departures([2.0, 1.0], 1.0)
+        with pytest.raises(ConfigurationError):
+            open_loop_departures([1.0, 2.0], -1.0)
+        with pytest.raises(ConfigurationError):
+            open_loop_departures([1.0, 2.0], 1.0, servers=0)
+        with pytest.raises(ConfigurationError):
+            # Service vector matching neither the pool nor the jobs.
+            open_loop_departures([1.0, 2.0], np.ones(3), servers=2)
