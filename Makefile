@@ -9,7 +9,7 @@
 PYTHON ?= python
 PYTEST  = env PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke serve-smoke kvserve-smoke conformance coverage
+.PHONY: test bench bench-check lint verify chaos-smoke chaos-recover-smoke shard-smoke serve-smoke kvserve-smoke explore-smoke conformance coverage
 
 test:
 	$(PYTEST) -x -q
@@ -18,7 +18,8 @@ bench:
 	$(PYTEST) benchmarks/bench_engine.py benchmarks/bench_runner.py \
 		benchmarks/bench_netstack.py benchmarks/bench_fluid_cache.py \
 		benchmarks/bench_trace.py benchmarks/bench_sharded_des.py \
-		benchmarks/bench_recovery.py benchmarks/bench_kvserve.py -q
+		benchmarks/bench_recovery.py benchmarks/bench_kvserve.py \
+		benchmarks/bench_explore.py -q
 
 # Append fresh samples to BENCH_results.json, then fail if any tracked
 # bench got >25% slower than its previous sample (2ms jitter floor).
@@ -91,3 +92,10 @@ serve-smoke:
 kvserve-smoke:
 	timeout 120 env PYTHONPATH=src $(PYTHON) scripts/kvserve_smoke.py
 	@echo "kvserve-smoke: OK"
+
+# The design-space sweep end to end: every catalog topology x routing
+# policy x workload through the hardened runner, scored and rendered —
+# the generator, the routed fabric, and the adaptive DES mesh in one run.
+explore-smoke:
+	timeout 120 env PYTHONPATH=src $(PYTHON) -m repro explore --no-cache
+	@echo "explore-smoke: OK"

@@ -376,6 +376,54 @@ def build_parser() -> argparse.ArgumentParser:
             "for small-cell validation"
         ),
     )
+    explore_cmd = sub.add_parser(
+        "explore",
+        help="generated topology x routing x workload design-space sweep",
+        description=(
+            "Sweep generated topologies (repro.platform.generator catalog) "
+            "against routing policies and workloads through the hardened "
+            "runner, scoring each point on victim share, Jain fairness, "
+            "p99 DES latency, and bisection utilization."
+        ),
+    )
+    explore_cmd.add_argument(
+        "--topology", default="all", metavar="NAME",
+        help=(
+            "one generated topology from the catalog, or 'all' for the "
+            "full catalog (default all)"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--routing", default="both", choices=("xy", "adaptive", "both"),
+        help="routing policy arm(s) to sweep (default both)",
+    )
+    explore_cmd.add_argument(
+        "--workload", default="both",
+        choices=("contention", "uniform", "both"),
+        help="workload arm(s) to sweep (default both)",
+    )
+    explore_cmd.add_argument(
+        "--packets", type=int, default=60, metavar="N",
+        help="DES packets injected per sender per cell (default 60)",
+    )
+    explore_cmd.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    explore_cmd.add_argument(
+        "--jobs", default=None, type=_jobs_arg, metavar="N",
+        help=(
+            "worker processes for independent cells: a count or 'auto' "
+            "(default: $REPRO_JOBS, else auto); output is byte-identical "
+            "for any value"
+        ),
+    )
+    explore_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help=(
+            "recompute every cell instead of reading/writing the "
+            "content-addressed result cache (.repro-cache/)"
+        ),
+    )
     add("devtree", "chiplet-net device tree export (§4 #1)")
     add("io-relay", "NIC→DRAM→NVMe relay stack designs (§4 #3)")
     add("collective", "all-reduce algorithm costs across chiplets (§4 #6)")
@@ -473,7 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     submit_cmd.add_argument(
-        "kind", choices=("netstack", "chaos", "trace", "kvstore"),
+        "kind", choices=("netstack", "chaos", "trace", "kvstore", "explore"),
         help="which experiment family the batch runs",
     )
     submit_cmd.add_argument(
@@ -526,6 +574,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="kvstore: offered open-loop arrival rate (default 2,000,000)",
     )
     submit_cmd.add_argument(
+        "--topology", default=None, metavar="NAME",
+        help="explore: one catalog topology (default: the full catalog)",
+    )
+    submit_cmd.add_argument(
+        "--routing", default=None, choices=("xy", "adaptive", "both"),
+        help="explore: routing policy arm(s) (default both)",
+    )
+    submit_cmd.add_argument(
+        "--workload", default=None,
+        choices=("contention", "uniform", "both"),
+        help="explore: workload arm(s) (default both)",
+    )
+    submit_cmd.add_argument(
+        "--packets", type=int, default=None, metavar="N",
+        help="explore: DES packets per sender per cell (default 60)",
+    )
+    submit_cmd.add_argument(
         "--requests", type=int, default=None, metavar="N",
         help="kvstore: requests per serving arm (default 100,000)",
     )
@@ -575,6 +640,15 @@ def _submit_spec(args, platform_name: str) -> dict:
             params["qps"] = args.qps
         if args.requests is not None:
             params["requests"] = args.requests
+    elif args.kind == "explore":
+        if args.topology is not None:
+            params["topologies"] = [args.topology]
+        if args.routing is not None and args.routing != "both":
+            params["routings"] = [args.routing]
+        if args.workload is not None and args.workload != "both":
+            params["workloads"] = [args.workload]
+        if args.packets is not None:
+            params["packets_per_sender"] = args.packets
     else:
         params["cell"] = args.cell
         if args.samples is not None:
@@ -925,6 +999,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except ConfigurationError as error:
                 build_parser().error(str(error))
             out.append(kvserve.render(platform.name, results))
+
+    elif args.command == "explore":
+        from repro.experiments import explore
+        from repro.platform.generator import catalog_names
+
+        if args.topology == "all":
+            topologies = None
+        elif args.topology in catalog_names():
+            topologies = [args.topology]
+        else:
+            build_parser().error(
+                f"unknown topology {args.topology!r} (choose from "
+                f"{', '.join(catalog_names())}, all)"
+            )
+        routings = (
+            explore.ROUTINGS if args.routing == "both" else (args.routing,)
+        )
+        workloads = (
+            explore.WORKLOADS if args.workload == "both" else (args.workload,)
+        )
+        results = explore.run(
+            topologies=topologies,
+            routings=routings,
+            workloads=workloads,
+            seed=args.seed,
+            packets_per_sender=args.packets,
+            jobs=jobs,
+        )
+        out.append(explore.render(results))
 
     elif args.command == "trace":
         from repro.experiments import trace as trace_exp

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.schedule import FaultSchedule
+    from repro.platform.generator import NocRouting
 
 from repro.errors import ConfigurationError, TopologyError
 from repro.fluid.solver import Channel, FluidFlow, Policy, solve
@@ -32,20 +33,38 @@ __all__ = ["FabricModel"]
 _CXL_FRAMING = 68.0 / 64.0
 
 
+def _mesh_channel_stem(src, dst) -> str:
+    """Channel-name stem of one directed mesh link, e.g. ``mesh:0,0,0>1,0,0``."""
+    return (
+        f"mesh:{src[0]},{src[1]},{src[2]}>{dst[0]},{dst[1]},{dst[2]}"
+    )
+
+
 class FabricModel:
     """Channels and flow compilation for one platform.
 
     ``derates`` injects link degradation for reliability/what-if studies: a
     mapping from channel name (e.g. ``"gmi0:r"``) to a capacity multiplier
     in (0, 1] — a lane failure on a GMI port, a thermally-throttled P Link.
+
+    ``routing`` (a :class:`~repro.platform.generator.NocRouting`) resolves
+    the aggregate NoC domain into *per-mesh-link* channels: each directed
+    link of the router grid becomes a channel (``mesh:x,y,z>x,y,z:r/w``),
+    and DRAM streams load the links their routing policy's split puts them
+    on — XY's single dimension-ordered path, or adaptive routing's fluid
+    limit (equal split over min-weight minimal outports, the steady state
+    of credit balancing). ``routing=None`` keeps the aggregate-only model,
+    bit-identical to before.
     """
 
     def __init__(
         self,
         platform: Platform,
         derates: Optional[Dict[str, float]] = None,
+        routing: Optional["NocRouting"] = None,
     ) -> None:
         self.platform = platform
+        self.routing = routing
         self.derates = dict(derates or {})
         for name, factor in self.derates.items():
             if not 0.0 < factor <= 1.0:
@@ -102,6 +121,11 @@ class FabricModel:
             self._make(f"umc{umc_id}:w", bw.umc_write_gbps)
         self._make("noc:r", bw.noc_read_gbps)
         self._make("noc:w", bw.noc_write_gbps)
+        if self.routing is not None:
+            for src, dst in self.routing.grid.links():
+                stem = _mesh_channel_stem(src, dst)
+                self._make(f"{stem}:r", self.routing.link_read_gbps)
+                self._make(f"{stem}:w", self.routing.link_write_gbps)
         if self.platform.has_remote_socket:
             self._make("xgmi:r", bw.xgmi_read_gbps)
             self._make("xgmi:w", bw.xgmi_write_gbps)
@@ -323,6 +347,10 @@ class FabricModel:
         if spec.target == "dram":
             for umc_id in targets:
                 flow.add(self.channel(f"umc{umc_id}:{direction}"), share)
+            if self.routing is not None:
+                self._attach_mesh_links(
+                    flow, direction, ccd_id, targets, share
+                )
         else:
             flow.add(self.channel(f"hub{ccd_id}:{direction}"), weight)
             for dev_id in targets:
@@ -332,6 +360,35 @@ class FabricModel:
                     self.channel(f"cxldev{dev_id}:{direction}"),
                     share * _CXL_FRAMING,
                 )
+
+    def _attach_mesh_links(
+        self,
+        flow: FluidFlow,
+        direction: str,
+        ccd_id: int,
+        umc_ids: Sequence[int],
+        share: float,
+    ) -> None:
+        """Load the mesh-link channels the CCD→UMC route splits touch.
+
+        Per-link weights accumulate over every target UMC before the
+        channels join the path, so a flow never lists one channel twice
+        (two UMCs at the same mesh stop share their links exactly).
+        """
+        from repro.noc.routing import route_split
+
+        routing = self.routing
+        assert routing is not None
+        src = routing.ccd_coords3[ccd_id % len(routing.ccd_coords3)]
+        combined: Dict[Tuple, float] = {}
+        for umc_id in umc_ids:
+            dst = routing.umc_coords3[umc_id % len(routing.umc_coords3)]
+            split = route_split(routing.grid, src, dst, routing.policy)
+            for link, fraction in split.items():
+                combined[link] = combined.get(link, 0.0) + share * fraction
+        for (link_src, link_dst), weight in sorted(combined.items()):
+            stem = _mesh_channel_stem(link_src, link_dst)
+            flow.add(self.channel(f"{stem}:{direction}"), weight)
 
     def achieved_gbps(
         self,

@@ -41,12 +41,28 @@ def contention_streams(
     overriding the core sets (e.g. a small single-CCX victim against a
     whole-chiplet aggressor) or by pacing the hog at an aggressive rate.
     """
+    ccd_ids = sorted(platform.ccds)
     if victim_cores is None:
         victim_cores = tuple(
-            core.core_id for core in platform.cores_of_ccd(0)
+            core.core_id for core in platform.cores_of_ccd(ccd_ids[0])
         )
     if hog_cores is None:
-        hog_cores = tuple(core.core_id for core in platform.cores_of_ccd(1))
+        # The aggressor lives on the next chiplet over — queried from the
+        # platform rather than assumed to be literal id 1, so generated
+        # topologies of any CCD count build a valid cell. A single-chiplet
+        # platform falls back to intra-CCD contention: the victim's first
+        # CCX against the rest of its chiplet.
+        if len(ccd_ids) > 1:
+            hog_cores = tuple(
+                core.core_id for core in platform.cores_of_ccd(ccd_ids[1])
+            )
+        else:
+            victim_set = set(victim_cores)
+            hog_cores = tuple(
+                core.core_id
+                for core in platform.cores_of_ccd(ccd_ids[0])
+                if core.core_id not in victim_set
+            ) or victim_cores
     victim = StreamSpec(
         "victim", OpKind.READ, victim_cores, demand_gbps=victim_demand_gbps
     )

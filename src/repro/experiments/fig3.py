@@ -154,12 +154,20 @@ class PanelSweep:
 
 
 def _core_ids(platform: Platform, config: PanelConfig) -> List[int]:
+    ccd_ids = sorted(platform.ccds)
     if not config.spread_ccds:
-        cores = platform.cores_of_ccd(0)[: config.core_count]
+        cores = platform.cores_of_ccd(ccd_ids[0])[: config.core_count]
         return [core.core_id for core in cores]
-    per_ccd = max(1, config.core_count // 2)
-    ids = [core.core_id for core in platform.cores_of_ccd(0)[:per_ccd]]
-    ids += [core.core_id for core in platform.cores_of_ccd(1)[:per_ccd]]
+    # Spread over the first two chiplets the platform actually has (one,
+    # on single-CCD generated topologies, degenerates to no spread).
+    spread = ccd_ids[:2]
+    per_ccd = max(1, config.core_count // len(spread))
+    ids: List[int] = []
+    for ccd_id in spread:
+        ids += [
+            core.core_id
+            for core in platform.cores_of_ccd(ccd_id)[:per_ccd]
+        ]
     return ids[: config.core_count]
 
 

@@ -19,6 +19,7 @@ from repro.net.credits import (
     CreditScheduler,
     credit_budget,
     credit_rate_gbps,
+    link_credit_budget,
     credit_share,
     endpoint_rate_gbps,
     endpoint_rtt_ns,
@@ -55,6 +56,7 @@ __all__ = [
     "CreditScheduler",
     "credit_budget",
     "credit_rate_gbps",
+    "link_credit_budget",
     "credit_share",
     "endpoint_rate_gbps",
     "endpoint_rtt_ns",

@@ -46,6 +46,7 @@ __all__ = [
     "endpoint_rtt_ns",
     "endpoint_rate_gbps",
     "credit_budget",
+    "link_credit_budget",
     "credit_rate_gbps",
     "credit_share",
     "CreditScheduler",
@@ -157,6 +158,32 @@ def credit_budget(
     rtt = endpoint_rtt_ns(platform, endpoint)
     rate = endpoint_rate_gbps(platform, endpoint, is_write=is_write)
     return max(1, math.ceil(rate * rtt * config.rtt_factor / CACHELINE))
+
+
+def link_credit_budget(
+    gbps: float,
+    hop_rtt_ns: float,
+    config: CreditConfig = CreditConfig(),
+) -> int:
+    """Credit depth of one *router output port*, in cacheline credits.
+
+    Same BDP sizing as :func:`credit_budget` but over a single mesh link:
+    the round trip is one hop out plus the credit return, so a window of
+    ``gbps × hop_rtt × rtt_factor`` bytes keeps the link busy. The
+    adaptive NoC router (:class:`repro.noc.router.AdaptiveMeshNetwork`)
+    uses these pools as its downstream-credit telemetry — the occupancy
+    signal its outport selection reads.
+    """
+    if gbps <= 0:
+        raise ConfigurationError(f"gbps must be positive, got {gbps}")
+    if hop_rtt_ns <= 0:
+        raise ConfigurationError(
+            f"hop_rtt_ns must be positive, got {hop_rtt_ns}"
+        )
+    return max(
+        config.min_credits_per_flow,
+        math.ceil(gbps * hop_rtt_ns * config.rtt_factor / CACHELINE),
+    )
 
 
 def credit_rate_gbps(

@@ -10,15 +10,17 @@ latency by construction) and to study in-mesh contention directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.errors import TopologyError
+from repro.noc.flowcontrol import TokenPool
 from repro.noc.mesh import Mesh
+from repro.noc.routing import Coord3, RouterGrid, RoutingPolicy
 from repro.sim.engine import Environment, Event, Resource
 
 Coord = Tuple[int, int]
 
-__all__ = ["MeshNetwork"]
+__all__ = ["MeshNetwork", "AdaptiveMeshNetwork"]
 
 
 @dataclass
@@ -98,3 +100,159 @@ class MeshNetwork:
     def total_bytes_forwarded(self) -> int:
         """Total bytes forwarded across every port."""
         return sum(port.bytes_forwarded for port in self._ports.values())
+
+
+@dataclass
+class _AdaptivePort:
+    """One output port of the adaptive router.
+
+    On top of the serializer + wire of :class:`_Port`, each port carries a
+    BDP-sized downstream-credit pool (:func:`repro.net.link_credit_budget`)
+    — the telemetry the adaptive outport selection reads — plus counters
+    splitting traffic into adaptively-routed and escape-routed packets.
+    """
+
+    resource: Resource
+    credits: TokenPool
+    hop_ns: float
+    gbps: float
+    bytes_forwarded: int = 0
+    adaptive_packets: int = 0
+    escape_packets: int = 0
+
+
+class AdaptiveMeshNetwork:
+    """Credit-aware adaptive minimal routing over a :class:`RouterGrid`.
+
+    The routing discipline the ISSUE's tentpole asks for: at each router,
+    among the minimal-quadrant outports take those of minimum link weight
+    (:meth:`RouterGrid.adaptive_ports`), pick the one with the most
+    downstream credits, break ties round-robin. When no candidate has a
+    free credit — or under ``RoutingPolicy.XY`` always — the packet takes
+    the escape-VC dimension-ordered hop instead
+    (:meth:`RouterGrid.escape_next`), whose channel-dependency graph is
+    acyclic by construction, so the network cannot deadlock (Duato).
+
+    Works over 2D meshes and 3D sparse-pillar grids alike; hop latencies
+    are per-axis, with vertical (TSV) hops typically slower.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        grid: RouterGrid,
+        port_gbps: float,
+        x_hop_ns: float,
+        y_hop_ns: float,
+        z_hop_ns: Optional[float] = None,
+        policy: RoutingPolicy = RoutingPolicy.ADAPTIVE,
+        credit_config: Optional["CreditConfig"] = None,
+        lanes_per_port: int = 1,
+    ) -> None:
+        from repro.net.credits import CreditConfig, link_credit_budget
+
+        if port_gbps <= 0:
+            raise TopologyError(f"port_gbps must be positive, got {port_gbps}")
+        self.env = env
+        self.grid = grid
+        self.policy = policy
+        self.port_gbps = port_gbps
+        config = credit_config or CreditConfig()
+        hop_ns = {
+            "x": x_hop_ns,
+            "y": y_hop_ns,
+            "z": z_hop_ns if z_hop_ns is not None else (x_hop_ns + y_hop_ns),
+        }
+        self._ports: Dict[Tuple[Coord3, Coord3], _AdaptivePort] = {}
+        for here, neighbor in grid.links():
+            axis = (
+                "z" if neighbor[2] != here[2]
+                else "x" if neighbor[0] != here[0]
+                else "y"
+            )
+            # Credit loop RTT = hop out + credit return over the same wire.
+            depth = link_credit_budget(
+                port_gbps, 2.0 * hop_ns[axis], config
+            )
+            self._ports[(here, neighbor)] = _AdaptivePort(
+                Resource(env, capacity=lanes_per_port),
+                TokenPool(env, depth, name=f"crd:{here}>{neighbor}"),
+                hop_ns[axis],
+                port_gbps,
+            )
+        self._rr: Dict[Coord3, int] = {}
+
+    def port(self, src: Coord3, dst: Coord3) -> _AdaptivePort:
+        """The output port from one router to an adjacent router."""
+        try:
+            return self._ports[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no port from {src} to {dst}") from None
+
+    def _pick_adaptive(self, here: Coord3, dst: Coord3) -> Optional[Coord3]:
+        """The credit-aware outport choice, or None to fall back to escape."""
+        if self.policy is not RoutingPolicy.ADAPTIVE:
+            return None
+        candidates: List[Coord3] = [
+            port
+            for port in self.grid.adaptive_ports(here, dst)
+            if self._ports[(here, port)].credits.available > 0
+        ]
+        if not candidates:
+            return None
+        best = max(
+            self._ports[(here, port)].credits.available
+            for port in candidates
+        )
+        tied = [
+            port
+            for port in candidates
+            if self._ports[(here, port)].credits.available == best
+        ]
+        slot = self._rr.get(here, 0)
+        self._rr[here] = slot + 1
+        return tied[slot % len(tied)]
+
+    def send(
+        self, src: Coord3, dst: Coord3, size_bytes: int
+    ) -> Generator[Event, None, float]:
+        """DES process: forward one packet from ``src`` to ``dst``.
+
+        Every hop re-runs the outport selection, so a packet's path reacts
+        to congestion encountered mid-flight. Returns the network traversal
+        latency (ns) experienced by the packet.
+        """
+        start = self.env.now
+        here, vc = src, 0
+        while here != dst:
+            nxt = self._pick_adaptive(here, dst)
+            adaptive = nxt is not None
+            if not adaptive:
+                nxt, vc = self.grid.escape_next(here, dst, vc)
+            port = self.port(here, nxt)
+            if adaptive:
+                yield port.credits.acquire()
+                port.adaptive_packets += 1
+            else:
+                port.escape_packets += 1
+            with port.resource.request() as grant:
+                yield grant
+                service = size_bytes / port.gbps
+                port.bytes_forwarded += size_bytes
+                yield self.env.timeout(service + port.hop_ns)
+            if adaptive:
+                # The credit returns once the flit has cleared the wire.
+                port.credits.release()
+            here = nxt
+        return self.env.now - start
+
+    def total_bytes_forwarded(self) -> int:
+        """Total bytes forwarded across every port."""
+        return sum(port.bytes_forwarded for port in self._ports.values())
+
+    def escape_fraction(self) -> float:
+        """Share of forwarded packets that took the escape channel."""
+        adaptive = sum(p.adaptive_packets for p in self._ports.values())
+        escape = sum(p.escape_packets for p in self._ports.values())
+        total = adaptive + escape
+        return 0.0 if total == 0 else escape / total

@@ -1,0 +1,395 @@
+"""Routing policies over generated router grids (2D meshes, 3D pillars).
+
+The preset I/O die is a fixed 2D mesh with XY dimension-order routing
+(:mod:`repro.noc.mesh`). The topology generator (ISSUE: "topology
+design-space exploration") produces a wider family — X×Y meshes of any
+dimension, optionally stacked into Z layers connected by *sparse vertical
+pillars* (TSV columns at a subset of (x, y) stops), with per-link weight
+encodings in the gem5 style (intra-layer weight 1, vertical weight 3).
+
+This module carries the routing machinery those grids need:
+
+* :class:`RouterGrid` — the grid itself: dimensions, pillars, link weights,
+  neighbor/weight/distance queries;
+* **escape routing** (:meth:`RouterGrid.escape_route`) — a deterministic
+  dimension-ordered path (X, then Y, then the designated escape pillar's
+  vertical traversal, then X, then Y in the destination layer) carried on
+  escape virtual channels. VC 0 serves pre-vertical movement, VC 1
+  post-vertical, which is what keeps the channel-dependency graph acyclic
+  (:func:`channel_dependency_graph`, :func:`is_deadlock_free`) — the
+  classic Duato argument: a network whose escape channels form an acyclic
+  CDG cannot deadlock no matter what the adaptive channels do;
+* **adaptive minimal routing** (:meth:`RouterGrid.adaptive_ports`) — the
+  candidate set the credit-aware router picks from: productive (weighted-
+  distance-reducing) outports filtered to the minimum link weight; and
+  :func:`route_split`, its fluid limit — recursive equal splitting over
+  those ports, which is what perfectly balanced downstream credits
+  converge to in steady state.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import TopologyError
+
+Coord = Tuple[int, int]
+Coord3 = Tuple[int, int, int]
+#: One directed grid link (an output port of the source router).
+Link = Tuple[Coord3, Coord3]
+
+__all__ = [
+    "RouterGrid",
+    "RoutingPolicy",
+    "channel_dependency_graph",
+    "is_deadlock_free",
+    "route_split",
+]
+
+
+class RoutingPolicy(enum.Enum):
+    """Which routing discipline a compiled network uses.
+
+    * ``XY`` — deterministic dimension-order (escape-path) routing only:
+      the preset hardware's behaviour (§1: data FLITs are routed
+      "deterministically ... from the source to the destination").
+    * ``ADAPTIVE`` — credit-aware adaptive minimal routing with the escape
+      path as deadlock-safe fallback.
+    """
+
+    XY = "xy"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class RouterGrid:
+    """An X×Y×Z router grid with sparse vertical pillars and link weights.
+
+    ``layers == 1`` is the plain 2D mesh every preset uses. With more
+    layers, vertical links exist only at the ``pillars`` coordinates —
+    the sparse-TSV design of 3D NoCs. Link weights encode routing
+    preference exactly like gem5 topology generators (intra-layer links
+    weight 1, vertical links heavier): minimal routing breaks ties toward
+    lighter links.
+    """
+
+    width: int
+    height: int
+    layers: int = 1
+    pillars: Tuple[Coord, ...] = ()
+    x_weight: int = 1
+    y_weight: int = 1
+    z_weight: int = 3
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise TopologyError(
+                f"grid must be at least 1x1, got {self.width}x{self.height}"
+            )
+        if self.layers < 1:
+            raise TopologyError(f"layers must be >= 1, got {self.layers}")
+        if self.layers > 1 and not self.pillars:
+            raise TopologyError(
+                f"{self.layers} layers need at least one vertical pillar"
+            )
+        seen = set()
+        for x, y in self.pillars:
+            if not (0 <= x < self.width and 0 <= y < self.height):
+                raise TopologyError(
+                    f"pillar ({x}, {y}) outside {self.width}x{self.height} grid"
+                )
+            if (x, y) in seen:
+                raise TopologyError(f"duplicate pillar ({x}, {y})")
+            seen.add((x, y))
+        for name in ("x_weight", "y_weight", "z_weight"):
+            if getattr(self, name) < 1:
+                raise TopologyError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+
+    # ------------------------------------------------------------- geometry
+
+    def contains(self, coord: Coord3) -> bool:
+        """True when the 3D coordinate lies inside the grid."""
+        x, y, z = coord
+        return (
+            0 <= x < self.width
+            and 0 <= y < self.height
+            and 0 <= z < self.layers
+        )
+
+    def _check(self, coord: Coord3) -> None:
+        if not self.contains(coord):
+            raise TopologyError(
+                f"coordinate {coord} outside {self.width}x{self.height}"
+                f"x{self.layers} grid"
+            )
+
+    def nodes(self) -> Iterator[Coord3]:
+        """Every router coordinate, in deterministic (z, y, x) order."""
+        for z in range(self.layers):
+            for y in range(self.height):
+                for x in range(self.width):
+                    yield (x, y, z)
+
+    def neighbors(self, coord: Coord3) -> List[Coord3]:
+        """Adjacent routers, in deterministic +x, -x, +y, -y, +z, -z order."""
+        self._check(coord)
+        x, y, z = coord
+        out: List[Coord3] = []
+        for candidate in (
+            (x + 1, y, z), (x - 1, y, z), (x, y + 1, z), (x, y - 1, z),
+        ):
+            if self.contains(candidate):
+                out.append(candidate)
+        if self.layers > 1 and (x, y) in self.pillars:
+            for candidate in ((x, y, z + 1), (x, y, z - 1)):
+                if self.contains(candidate):
+                    out.append(candidate)
+        return out
+
+    def links(self) -> List[Link]:
+        """Every directed link, in deterministic node/neighbor order."""
+        return [
+            (node, neighbor)
+            for node in self.nodes()
+            for neighbor in self.neighbors(node)
+        ]
+
+    def link_weight(self, src: Coord3, dst: Coord3) -> int:
+        """The routing weight of one directed link (gem5-style encoding)."""
+        if dst not in self.neighbors(src):
+            raise TopologyError(f"no link from {src} to {dst}")
+        if dst[2] != src[2]:
+            return self.z_weight
+        if dst[0] != src[0]:
+            return self.x_weight
+        return self.y_weight
+
+    def distance(self, src: Coord3, dst: Coord3) -> int:
+        """Minimal weighted distance between two routers."""
+        self._check(src)
+        self._check(dst)
+        return _distances(self, dst)[src]
+
+    def hop_distance(self, src: Coord3, dst: Coord3) -> int:
+        """Hop count of the minimal *weighted* route (ties share it)."""
+        return len(self.escape_route(src, dst)) - 1
+
+    # -------------------------------------------------------- port selection
+
+    def minimal_ports(self, here: Coord3, dst: Coord3) -> List[Coord3]:
+        """Productive outports: neighbors on some minimal-weight route."""
+        self._check(here)
+        self._check(dst)
+        if here == dst:
+            return []
+        dist = _distances(self, dst)
+        return [
+            neighbor
+            for neighbor in self.neighbors(here)
+            if self.link_weight(here, neighbor) + dist[neighbor] == dist[here]
+        ]
+
+    def adaptive_ports(self, here: Coord3, dst: Coord3) -> List[Coord3]:
+        """The adaptive candidate set: minimal ports of minimum link weight.
+
+        This is the selection rule of the credit-aware router: among the
+        minimal-quadrant outports, only the lightest links qualify; the
+        router then picks the qualifying port with the most downstream
+        credits (round-robin on ties).
+        """
+        ports = self.minimal_ports(here, dst)
+        if not ports:
+            return []
+        lightest = min(self.link_weight(here, port) for port in ports)
+        return [
+            port for port in ports
+            if self.link_weight(here, port) == lightest
+        ]
+
+    # ---------------------------------------------------------- escape path
+
+    def escape_pillar(self) -> Coord:
+        """The designated escape pillar (lexicographically smallest).
+
+        Escape routes funnel *all* vertical traversals through one pillar
+        so the escape channel-dependency graph stays small and provably
+        acyclic; adaptive routing is free to use every pillar.
+        """
+        if not self.pillars:
+            raise TopologyError("grid has no vertical pillars")
+        return min(self.pillars)
+
+    def escape_route(
+        self, src: Coord3, dst: Coord3
+    ) -> List[Tuple[Coord3, int]]:
+        """The escape-VC dimension-ordered route, as ``(coord, vc)`` stops.
+
+        Each entry is a router plus the virtual channel the packet
+        *arrives* on (the source arrives on VC 0 by convention). Same-layer
+        traffic is plain XY on VC 0. Cross-layer traffic goes X→Y to the
+        escape pillar on VC 0, traverses the pillar vertically, then X→Y
+        to the destination on VC 1 — the VC switch after the vertical hop
+        is what breaks the cyclic dependency XY→Z→XY would otherwise
+        close (see :func:`channel_dependency_graph`).
+        """
+        self._check(src)
+        self._check(dst)
+        route: List[Tuple[Coord3, int]] = [(src, 0)]
+
+        def walk_xy(frm: Coord3, to_x: int, to_y: int, vc: int) -> Coord3:
+            x, y, z = frm
+            step = 1 if to_x > x else -1
+            while x != to_x:
+                x += step
+                route.append(((x, y, z), vc))
+            step = 1 if to_y > y else -1
+            while y != to_y:
+                y += step
+                route.append(((x, y, z), vc))
+            return (x, y, z)
+
+        if src[2] == dst[2]:
+            walk_xy(src, dst[0], dst[1], 0)
+            return route
+        pillar = self.escape_pillar()
+        here = walk_xy(src, pillar[0], pillar[1], 0)
+        x, y, z = here
+        step = 1 if dst[2] > z else -1
+        while z != dst[2]:
+            z += step
+            route.append(((x, y, z), 0))
+        walk_xy((x, y, z), dst[0], dst[1], 1)
+        return route
+
+    def escape_next(self, here: Coord3, dst: Coord3, vc: int) -> Tuple[Coord3, int]:
+        """The next escape stop from ``here`` given the current VC.
+
+        A packet already on VC 1 (post-vertical) must stay there — its
+        remaining journey is in-layer XY toward the destination.
+        """
+        if vc >= 1:
+            # Post-vertical: plain XY in the destination layer on VC 1.
+            # (Re-deriving the escape route from here would detour back
+            # through the escape pillar.)
+            x, y, z = here
+            if x != dst[0]:
+                x += 1 if dst[0] > x else -1
+            elif y != dst[1]:
+                y += 1 if dst[1] > y else -1
+            return (x, y, z), 1
+        route = self.escape_route(here, dst)
+        if len(route) < 2:
+            raise TopologyError(f"already at destination {dst}")
+        return route[1]
+
+
+@functools.lru_cache(maxsize=4096)
+def _distances(grid: RouterGrid, dst: Coord3) -> Dict[Coord3, int]:
+    """Weighted shortest-path distance from every router to ``dst``."""
+    dist: Dict[Coord3, int] = {dst: 0}
+    frontier: List[Tuple[int, Coord3]] = [(0, dst)]
+    while frontier:
+        d, node = heapq.heappop(frontier)
+        if d > dist.get(node, 1 << 60):
+            continue
+        for neighbor in grid.neighbors(node):
+            # Links are symmetric in weight, so relaxing the reverse
+            # direction gives distances *to* dst.
+            candidate = d + grid.link_weight(neighbor, node)
+            if candidate < dist.get(neighbor, 1 << 60):
+                dist[neighbor] = candidate
+                heapq.heappush(frontier, (candidate, neighbor))
+    return dist
+
+
+def route_split(
+    grid: RouterGrid,
+    src: Coord3,
+    dst: Coord3,
+    policy: RoutingPolicy,
+) -> Dict[Link, float]:
+    """Fraction of a flow's traffic each directed link carries.
+
+    ``XY`` puts the whole flow on the escape (dimension-ordered) path.
+    ``ADAPTIVE`` is the fluid limit of credit balancing: at every router
+    the flow splits *equally* over the adaptive candidate ports — with
+    symmetric demand, downstream credit counts equalize and the
+    round-robin tie-break degenerates to an even split. Fractions on a
+    link sum over all partial paths through it; the fractions into ``dst``
+    sum to 1.
+    """
+    if src == dst:
+        return {}
+    if policy is RoutingPolicy.XY:
+        route = grid.escape_route(src, dst)
+        return {
+            (a, b): 1.0
+            for (a, __), (b, ___) in zip(route, route[1:])
+        }
+    shares: Dict[Coord3, float] = {src: 1.0}
+    result: Dict[Link, float] = {}
+    dist = _distances(grid, dst)
+    # Process nodes farthest-first: every adaptive hop strictly reduces
+    # the weighted distance, so this order is topological.
+    pending = [src]
+    while pending:
+        pending.sort(key=lambda node: (-dist[node], node))
+        node = pending.pop(0)
+        share = shares.pop(node)
+        if node == dst or share <= 0.0:
+            continue
+        ports = grid.adaptive_ports(node, dst)
+        part = share / len(ports)
+        for port in ports:
+            result[(node, port)] = result.get((node, port), 0.0) + part
+            if port not in shares:
+                if port != dst:
+                    pending.append(port)
+                shares[port] = 0.0
+            shares[port] += part
+    return result
+
+
+def channel_dependency_graph(grid: RouterGrid):
+    """The escape network's channel-dependency graph (a networkx DiGraph).
+
+    Nodes are ``(link, vc)`` pairs — one per escape virtual channel of
+    each directed link. An edge connects two channels whenever some
+    escape route holds the first while requesting the second (consecutive
+    hops of :meth:`RouterGrid.escape_route`, over every source/destination
+    pair). Deadlock freedom of the escape layer — and therefore of the
+    whole adaptive network, by Duato's theorem — is acyclicity of this
+    graph (:func:`is_deadlock_free`; property-tested over the generated
+    design space).
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    nodes = list(grid.nodes())
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            route = grid.escape_route(src, dst)
+            hops = [
+                ((a, b), vc_b)
+                for (a, __), (b, vc_b) in zip(route, route[1:])
+            ]
+            for channel in hops:
+                graph.add_node(channel)
+            for held, requested in zip(hops, hops[1:]):
+                graph.add_edge(held, requested)
+    return graph
+
+
+def is_deadlock_free(grid: RouterGrid) -> bool:
+    """True when the escape channel-dependency graph is acyclic."""
+    import networkx as nx
+
+    return nx.is_directed_acyclic_graph(channel_dependency_graph(grid))

@@ -11,6 +11,12 @@ Two presets reproduce the evaluated machines of Table 1:
 * :func:`~repro.platform.presets.epyc_7302` — Zen 2, 16 cores / 8 CCX / 4 CCD
 * :func:`~repro.platform.presets.epyc_9634` — Zen 4, 84 cores / 12 CCX / 12 CCD
   with four CXL memory modules
+
+Beyond the presets, :mod:`repro.platform.generator` generalizes the model
+into a topology *generator* (:class:`~repro.platform.generator.TopologyGen`):
+mesh dimensions, component placement, 3D sparse-pillar layers, and link
+width/weight encodings, materializing the same :class:`Platform` objects —
+the presets are two points of that generated space.
 """
 
 from repro.platform.components import (
@@ -22,6 +28,15 @@ from repro.platform.components import (
     IOHub,
     RootComplex,
     UMC,
+)
+from repro.platform.generator import (
+    CATALOG,
+    EPYC_7302_GEN,
+    EPYC_9634_GEN,
+    NocRouting,
+    TopologyGen,
+    catalog_names,
+    from_catalog,
 )
 from repro.platform.interconnect import LinkKind, LinkSpec
 from repro.platform.numa import NpsMode, Position
@@ -52,4 +67,11 @@ __all__ = [
     "PlatformSpec",
     "epyc_7302",
     "epyc_9634",
+    "TopologyGen",
+    "NocRouting",
+    "CATALOG",
+    "EPYC_7302_GEN",
+    "EPYC_9634_GEN",
+    "catalog_names",
+    "from_catalog",
 ]

@@ -1,0 +1,384 @@
+"""Topology generator: presets become points in a generated design space.
+
+The paper's §3 calibrates a *fixed* I/O-die mesh for two processors; its §5
+argues the payoff of a chiplet-network simulator is exploring alternatives.
+:class:`TopologyGen` is that generalization: a declarative spec — mesh
+dimensions, CCD/UMC/IO-hub placement, optional 3D layers with sparse
+vertical (TSV) pillars, per-link weight and width encodings — that
+*materializes* into the exact same :class:`~repro.platform.topology.
+PlatformSpec` / :class:`~repro.platform.topology.Platform` objects the
+presets construct directly. A generator spec whose geometry matches a
+preset's re-derives it bit-for-bit (asserted with graph/link equality in
+``tests/test_platform_generator.py``), so the presets are two points in the
+generated space rather than privileged code paths.
+
+Calibration is *inherited*, not invented: every generated topology names a
+``base`` preset spec that donates its latency/bandwidth calibration, and the
+generator only reshapes geometry (and scales the NoC width via
+``width_factor``). That keeps generated platforms anchored to measured
+hardware the way RapidChiplet anchors its design sweeps to proxy models.
+
+For routing-aware models, :meth:`TopologyGen.router_grid` exposes the
+topology as a :class:`~repro.noc.routing.RouterGrid` and
+:meth:`TopologyGen.noc_routing` bundles grid + policy + component
+placements + per-link capacities into a :class:`NocRouting` — the object
+the fluid fabric (:class:`repro.core.fabric.FabricModel`) and the DES
+router (:class:`repro.noc.router.AdaptiveMeshNetwork`) both compile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.noc.routing import Coord3, RouterGrid, RoutingPolicy
+from repro.platform.presets import EPYC_7302_SPEC, EPYC_9634_SPEC
+from repro.platform.topology import Coord, Platform, PlatformSpec
+
+__all__ = [
+    "TopologyGen",
+    "NocRouting",
+    "EPYC_7302_GEN",
+    "EPYC_9634_GEN",
+    "CATALOG",
+    "catalog_names",
+    "from_catalog",
+]
+
+
+@dataclass(frozen=True)
+class NocRouting:
+    """A compiled routing view of one generated topology.
+
+    Everything a backend needs to route CCD→UMC traffic through the mesh
+    explicitly: the router grid, the policy, where each component's mesh
+    stop sits (3D coordinates, indexed by component id), per-directed-link
+    capacities, and per-axis hop latencies. Produced by
+    :meth:`TopologyGen.noc_routing`; consumed by the fluid fabric's
+    per-link channels and the DES :class:`~repro.noc.router.
+    AdaptiveMeshNetwork`.
+    """
+
+    grid: RouterGrid
+    policy: RoutingPolicy
+    ccd_coords3: Tuple[Coord3, ...]
+    umc_coords3: Tuple[Coord3, ...]
+    link_read_gbps: float
+    link_write_gbps: float
+    x_hop_ns: float
+    y_hop_ns: float
+    z_hop_ns: float
+
+
+@dataclass(frozen=True)
+class TopologyGen:
+    """A generated chiplet-server topology (one point of the design space).
+
+    Geometry fields left at ``None`` inherit the ``base`` preset's values,
+    so ``TopologyGen(name=..., base=SPEC)`` with no overrides re-derives
+    the preset exactly. Component counts rescale the dependent Table-1
+    quantities (cores, CCXs, total L3) by the base's per-CCD ratios.
+
+    3D variants add ``layers`` stacked copies of the X×Y mesh joined by
+    vertical links at the sparse ``pillars`` columns; ``ccd_layers`` /
+    ``umc_layers`` lift component placements off the base layer. The
+    materialized :class:`PlatformSpec` projects placements onto the base
+    layer (its analytic latency model is 2D); the full 3D geometry lives
+    in :meth:`router_grid` and drives the routed backends.
+    """
+
+    name: str
+    base: PlatformSpec
+    mesh_x: Optional[int] = None
+    mesh_y: Optional[int] = None
+    layers: int = 1
+    pillars: Tuple[Coord, ...] = ()
+    ccd_count: Optional[int] = None
+    ccd_coords: Optional[Tuple[Coord, ...]] = None
+    ccd_layers: Optional[Tuple[int, ...]] = None
+    umc_count: Optional[int] = None
+    umc_coords: Optional[Tuple[Coord, ...]] = None
+    umc_layers: Optional[Tuple[int, ...]] = None
+    io_hub_coord: Optional[Coord] = None
+    x_weight: int = 1
+    y_weight: int = 1
+    z_weight: int = 3
+    #: NoC capacity multiplier: generated meshes narrower (or wider) than
+    #: the base I/O die scale its calibrated aggregate NoC bandwidth.
+    width_factor: float = 1.0
+    #: Vertical (TSV) hop latency as a multiple of the mean in-layer hop.
+    vertical_hop_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        grid = self.router_grid()  # validates dims/layers/pillars/weights
+        if self.width_factor <= 0:
+            raise ConfigurationError(
+                f"{self.name}: width_factor must be positive, "
+                f"got {self.width_factor}"
+            )
+        if self.vertical_hop_factor <= 0:
+            raise ConfigurationError(
+                f"{self.name}: vertical_hop_factor must be positive, "
+                f"got {self.vertical_hop_factor}"
+            )
+        for count, what in (
+            (self._ccd_count, "ccd_count"),
+            (self._umc_count, "umc_count"),
+        ):
+            if count < 1:
+                raise ConfigurationError(
+                    f"{self.name}: {what} must be >= 1, got {count}"
+                )
+        for coord3 in self.ccd_coords3 + self.umc_coords3 + (
+            self._io_hub_coord + (0,),
+        ):
+            if not grid.contains(coord3):
+                raise TopologyError(
+                    f"{self.name}: component stop {coord3} outside "
+                    f"{grid.width}x{grid.height}x{grid.layers} grid"
+                )
+        for layers, what in (
+            (self.ccd_layers, "ccd_layers"),
+            (self.umc_layers, "umc_layers"),
+        ):
+            if layers is not None and any(
+                z < 0 or z >= self.layers for z in layers
+            ):
+                raise TopologyError(
+                    f"{self.name}: {what} {layers} outside "
+                    f"{self.layers} layers"
+                )
+
+    # ------------------------------------------------------ resolved geometry
+
+    @property
+    def _mesh_grid(self) -> Coord:
+        return (
+            self.mesh_x if self.mesh_x is not None else self.base.mesh_grid[0],
+            self.mesh_y if self.mesh_y is not None else self.base.mesh_grid[1],
+        )
+
+    @property
+    def _ccd_count(self) -> int:
+        return (
+            self.ccd_count if self.ccd_count is not None
+            else self.base.ccd_count
+        )
+
+    @property
+    def _umc_count(self) -> int:
+        return (
+            self.umc_count if self.umc_count is not None
+            else self.base.umc_count
+        )
+
+    @property
+    def _ccd_coords(self) -> Tuple[Coord, ...]:
+        return (
+            self.ccd_coords if self.ccd_coords is not None
+            else self.base.ccd_coords
+        )
+
+    @property
+    def _umc_coords(self) -> Tuple[Coord, ...]:
+        return (
+            self.umc_coords if self.umc_coords is not None
+            else self.base.umc_coords
+        )
+
+    @property
+    def _io_hub_coord(self) -> Coord:
+        return (
+            self.io_hub_coord if self.io_hub_coord is not None
+            else self.base.io_hub_coord
+        )
+
+    def _coords3(
+        self,
+        count: int,
+        coords: Tuple[Coord, ...],
+        layers: Optional[Tuple[int, ...]],
+    ) -> Tuple[Coord3, ...]:
+        """Per-component 3D mesh stops, cycling placements like Platform."""
+        out = []
+        for index in range(count):
+            x, y = coords[index % len(coords)]
+            z = layers[index % len(layers)] if layers else 0
+            out.append((x, y, z))
+        return tuple(out)
+
+    @property
+    def ccd_coords3(self) -> Tuple[Coord3, ...]:
+        """3D mesh stop of every CCD's GMI port, indexed by ccd id."""
+        return self._coords3(self._ccd_count, self._ccd_coords, self.ccd_layers)
+
+    @property
+    def umc_coords3(self) -> Tuple[Coord3, ...]:
+        """3D mesh stop of every UMC, indexed by umc id."""
+        return self._coords3(self._umc_count, self._umc_coords, self.umc_layers)
+
+    # ----------------------------------------------------------- compilation
+
+    def router_grid(self) -> RouterGrid:
+        """The topology's router grid (validates grid parameters)."""
+        width, height = self._mesh_grid
+        return RouterGrid(
+            width=width,
+            height=height,
+            layers=self.layers,
+            pillars=self.pillars,
+            x_weight=self.x_weight,
+            y_weight=self.y_weight,
+            z_weight=self.z_weight,
+        )
+
+    def materialize(self) -> PlatformSpec:
+        """The equivalent :class:`PlatformSpec` (preset-identical geometry).
+
+        Scales cores/CCXs/L3 by the base's per-CCD ratios when the CCD
+        count changes, and the calibrated NoC bandwidth by
+        ``width_factor``. With every override left at its default this
+        returns a spec *equal* to ``base`` — the preset re-derivation the
+        tests assert.
+        """
+        base = self.base
+        ccd_count = self._ccd_count
+        ccx_count = base.ccx_per_ccd * ccd_count
+        bandwidth = base.bandwidth
+        if self.width_factor != 1.0:
+            bandwidth = dataclasses.replace(
+                bandwidth,
+                noc_read_gbps=bandwidth.noc_read_gbps * self.width_factor,
+                noc_write_gbps=bandwidth.noc_write_gbps * self.width_factor,
+            )
+        return dataclasses.replace(
+            base,
+            name=self.name,
+            cores=base.cores_per_ccd * ccd_count,
+            ccx_count=ccx_count,
+            ccd_count=ccd_count,
+            l3_total_bytes=base.l3_per_ccx_bytes * ccx_count,
+            umc_count=self._umc_count,
+            bandwidth=bandwidth,
+            mesh_grid=self._mesh_grid,
+            # Raw (uncycled) placement tuples, so a no-override generator
+            # materializes a spec *equal* to its base preset; Platform
+            # cycles them over component ids exactly as the 3D accessors do.
+            ccd_coords=self._ccd_coords,
+            umc_coords=self._umc_coords,
+            io_hub_coord=self._io_hub_coord,
+        )
+
+    def platform(self) -> Platform:
+        """Materialize all the way to a queryable :class:`Platform`."""
+        return Platform(self.materialize())
+
+    def hop_ns(self) -> Tuple[float, float, float]:
+        """Per-axis hop latencies (x, y, z) inherited from the base."""
+        lat = self.base.latency
+        z_hop = (
+            (lat.x_hop_ns + lat.y_hop_ns) / 2.0 * self.vertical_hop_factor
+        )
+        return (lat.x_hop_ns, lat.y_hop_ns, z_hop)
+
+    def link_gbps(self) -> Tuple[float, float]:
+        """Per-directed-mesh-link (read, write) capacity.
+
+        The base calibration gives an *aggregate* NoC ceiling sized for
+        ``base.ccd_count`` concurrent chiplets; one generated mesh link
+        carries that aggregate's per-CCD slice, scaled by ``width_factor``.
+        """
+        bw = self.base.bandwidth
+        share = self.width_factor / self.base.ccd_count
+        return (bw.noc_read_gbps * share, bw.noc_write_gbps * share)
+
+    def noc_routing(
+        self, policy: RoutingPolicy = RoutingPolicy.ADAPTIVE
+    ) -> NocRouting:
+        """Compile the topology + a routing policy into a :class:`NocRouting`."""
+        read_gbps, write_gbps = self.link_gbps()
+        x_hop, y_hop, z_hop = self.hop_ns()
+        return NocRouting(
+            grid=self.router_grid(),
+            policy=policy,
+            ccd_coords3=self.ccd_coords3,
+            umc_coords3=self.umc_coords3,
+            link_read_gbps=read_gbps,
+            link_write_gbps=write_gbps,
+            x_hop_ns=x_hop,
+            y_hop_ns=y_hop,
+            z_hop_ns=z_hop,
+        )
+
+    def __repro_cache_key__(self) -> Tuple:
+        # Every geometry knob plus the donor calibration, so sweep cells
+        # keyed on a TopologyGen split whenever any of them changes.
+        return (
+            "topology-gen",
+            self.name,
+            self.base,
+            self._mesh_grid,
+            self.layers,
+            self.pillars,
+            self.ccd_coords3,
+            self.umc_coords3,
+            self._io_hub_coord,
+            (self.x_weight, self.y_weight, self.z_weight),
+            self.width_factor,
+            self.vertical_hop_factor,
+        )
+
+
+#: The EPYC 7302 preset expressed as a generator point (no overrides).
+EPYC_7302_GEN = TopologyGen(name="EPYC 7302", base=EPYC_7302_SPEC)
+
+#: The EPYC 9634 preset expressed as a generator point (no overrides).
+EPYC_9634_GEN = TopologyGen(name="EPYC 9634", base=EPYC_9634_SPEC)
+
+#: Named topologies the ``repro explore`` sweep iterates. Ordered; keys are
+#: CLI-facing names. ``squeeze-3x2`` narrows the mesh so victim and hog
+#: share a row toward corner-stacked UMCs — the cell where adaptive routing
+#: visibly beats XY. ``stacked-3d`` lifts memory onto a second layer over
+#: two sparse TSV pillars.
+CATALOG = {
+    "epyc-7302": EPYC_7302_GEN,
+    "epyc-9634": EPYC_9634_GEN,
+    "squeeze-3x2": TopologyGen(
+        name="squeeze-3x2",
+        base=EPYC_7302_SPEC,
+        ccd_count=2,
+        ccd_coords=((0, 0), (1, 0)),
+        umc_count=4,
+        umc_coords=((2, 1),),
+        io_hub_coord=(0, 1),
+        width_factor=0.5,
+    ),
+    "stacked-3d": TopologyGen(
+        name="stacked-3d",
+        base=EPYC_9634_SPEC,
+        ccd_count=4,
+        ccd_coords=((0, 0), (2, 0), (0, 1), (2, 1)),
+        umc_count=4,
+        umc_coords=((0, 0), (2, 0)),
+        umc_layers=(1, 1),
+        layers=2,
+        pillars=((0, 0), (2, 0)),
+    ),
+}
+
+
+def catalog_names() -> Tuple[str, ...]:
+    """The catalog's topology names, in sweep order."""
+    return tuple(CATALOG)
+
+
+def from_catalog(name: str) -> TopologyGen:
+    """Look up a catalog topology by name (ConfigurationError if unknown)."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {name!r} (choose from {', '.join(CATALOG)})"
+        ) from None

@@ -8,7 +8,7 @@ two clients asking for the same work produce byte-identical specs — and
 therefore the same cells, the same cache keys, and the same dedup
 behaviour.
 
-Four kinds cover the service's surface, one per family of the repo's
+Five kinds cover the service's surface, one per family of the repo's
 experiment layers:
 
 * ``netstack`` — the §4 stack-on/off contention comparison
@@ -23,7 +23,12 @@ experiment layers:
   Perfetto JSON handles;
 * ``kvstore`` — the open-loop serving-tail sweep
   (:func:`repro.experiments.kvserve.run_point`), one cell per
-  (value tier, background arm) on the hybrid batched/fluid engine.
+  (value tier, background arm) on the hybrid batched/fluid engine;
+* ``explore`` — the generated-topology design-space sweep
+  (:func:`repro.experiments.explore.run_point`), one cell per
+  (topology, workload, routing). The spec's ``platform`` field is
+  carried (and validated) for spec uniformity but ignored: each cell's
+  platform comes from its generated topology.
 
 Execution *variants* (sharded DES engine, recovery layer) are carried in
 the spec, not in the server's environment: :func:`variant_raws` exposes
@@ -55,7 +60,7 @@ __all__ = [
 ]
 
 #: The submittable experiment kinds, in presentation order.
-KINDS: Tuple[str, ...] = ("netstack", "chaos", "trace", "kvstore")
+KINDS: Tuple[str, ...] = ("netstack", "chaos", "trace", "kvstore", "explore")
 
 #: Platform presets the service accepts (the CLI's map raises SystemExit
 #: on bad names; the service needs a catchable ConfigurationError).
@@ -210,11 +215,65 @@ def _normalize_kvserve(params: Dict[str, Any]) -> Dict[str, Any]:
     return {"qps": float(qps), "requests": requests}
 
 
+def _normalize_explore(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.experiments.explore import ROUTINGS, WORKLOADS
+    from repro.platform.generator import catalog_names
+
+    known = catalog_names()
+    topologies = params.get("topologies")
+    if topologies is None:
+        topologies = list(known)
+    _require(
+        isinstance(topologies, list) and topologies,
+        f"params.topologies must be a non-empty list, got {topologies!r}",
+    )
+    for name in topologies:
+        _require(
+            name in known,
+            f"unknown topology {name!r} (choose from {', '.join(known)})",
+        )
+    routings = params.get("routings")
+    if routings is None:
+        routings = list(ROUTINGS)
+    _require(
+        isinstance(routings, list) and routings,
+        f"params.routings must be a non-empty list, got {routings!r}",
+    )
+    for routing in routings:
+        _require(
+            routing in ROUTINGS,
+            f"unknown routing {routing!r} (choose from {', '.join(ROUTINGS)})",
+        )
+    workloads = params.get("workloads")
+    if workloads is None:
+        workloads = list(WORKLOADS)
+    _require(
+        isinstance(workloads, list) and workloads,
+        f"params.workloads must be a non-empty list, got {workloads!r}",
+    )
+    for workload in workloads:
+        _require(
+            workload in WORKLOADS,
+            f"unknown workload {workload!r} "
+            f"(choose from {', '.join(WORKLOADS)})",
+        )
+    packets = _as_int(
+        params.get("packets_per_sender", 60), "params.packets_per_sender", 1
+    )
+    return {
+        "topologies": topologies,
+        "routings": routings,
+        "workloads": workloads,
+        "packets_per_sender": packets,
+    }
+
+
 _NORMALIZERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "netstack": _normalize_netstack,
     "chaos": _normalize_chaos,
     "trace": _normalize_trace,
     "kvstore": _normalize_kvserve,
+    "explore": _normalize_explore,
 }
 
 
@@ -369,6 +428,25 @@ def build_cells(spec: Dict[str, Any]) -> List[Cell]:
             )
             for tier, background in arms_for(platform)
         ]
+    if spec["kind"] == "explore":
+        from repro.experiments.explore import run_point
+        from repro.platform.generator import from_catalog
+
+        # Topology-major, matching repro.experiments.explore.run — the
+        # generated platforms replace the spec's (ignored) preset.
+        return [
+            Cell(
+                run_point,
+                (name, from_catalog(name), routing, workload),
+                dict(
+                    seed=seed,
+                    packets_per_sender=params["packets_per_sender"],
+                ),
+            )
+            for name in params["topologies"]
+            for workload in params["workloads"]
+            for routing in params["routings"]
+        ]
     from repro.experiments.trace import _netstack_cell, _positions, _table2_cell
 
     if params["cell"] == "netstack":
@@ -404,6 +482,10 @@ def render_results(spec: Dict[str, Any], results: Sequence[CellResult]) -> str:
         from repro.experiments.kvserve import render
 
         return render(platform.name, results)
+    if spec["kind"] == "explore":
+        from repro.experiments.explore import render
+
+        return render(results)
     from repro.experiments.trace import render
 
     return render(platform, spec["params"]["cell"], results)

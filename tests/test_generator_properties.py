@@ -1,0 +1,183 @@
+"""Property tier (hypothesis) over the generated topology design space.
+
+Four invariants the ISSUE pins for *every* valid generator point, not just
+the catalog entries:
+
+* the router grid is connected (any layered mesh with at least one
+  vertical pillar reaches every stop);
+* every CCD↔UMC pair has a minimal route the adaptive port sets can walk
+  end to end;
+* XY (escape) and adaptive routing agree on hop count for same-layer
+  minimal paths — adaptivity buys path *diversity*, never extra hops;
+* the escape layer is provably deadlock-free: the channel-dependency
+  graph over (directed link, virtual channel) pairs is acyclic (Duato),
+  for 2D meshes and for 3D grids with arbitrary sparse pillar sets.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import (
+    RouterGrid,
+    RoutingPolicy,
+    is_deadlock_free,
+    route_split,
+)
+from repro.platform.generator import TopologyGen
+from repro.platform.presets import EPYC_7302_SPEC
+
+
+@st.composite
+def grids(draw, max_dim: int = 4, max_layers: int = 3):
+    """Arbitrary valid router grids, pillars included."""
+    width = draw(st.integers(1, max_dim))
+    height = draw(st.integers(1, max_dim))
+    layers = draw(st.integers(1, max_layers))
+    coords = [(x, y) for x in range(width) for y in range(height)]
+    pillars = ()
+    if layers > 1:
+        chosen = draw(
+            st.sets(
+                st.sampled_from(coords),
+                min_size=1,
+                max_size=min(3, len(coords)),
+            )
+        )
+        pillars = tuple(sorted(chosen))
+    return RouterGrid(
+        width=width,
+        height=height,
+        layers=layers,
+        pillars=pillars,
+        x_weight=draw(st.integers(1, 3)),
+        y_weight=draw(st.integers(1, 3)),
+        z_weight=draw(st.integers(1, 4)),
+    )
+
+
+@st.composite
+def grids_with_pair(draw):
+    """A grid plus a distinct (src, dst) router pair on it."""
+    grid = draw(grids())
+    nodes = list(grid.nodes())
+    src = draw(st.sampled_from(nodes))
+    dst = draw(st.sampled_from(nodes))
+    return grid, src, dst
+
+
+@st.composite
+def topologies(draw):
+    """Arbitrary valid TopologyGen points over the 7302 donor calibration."""
+    grid = draw(grids(max_dim=3, max_layers=2))
+    coords = [(x, y) for x in range(grid.width) for y in range(grid.height)]
+    placements = st.lists(
+        st.sampled_from(coords), min_size=1, max_size=4
+    ).map(tuple)
+    layer_ids = st.lists(
+        st.integers(0, grid.layers - 1), min_size=1, max_size=4
+    ).map(tuple)
+    return TopologyGen(
+        name="prop",
+        base=EPYC_7302_SPEC,
+        mesh_x=grid.width,
+        mesh_y=grid.height,
+        layers=grid.layers,
+        pillars=grid.pillars,
+        ccd_count=draw(st.integers(1, 4)),
+        ccd_coords=draw(placements),
+        ccd_layers=draw(layer_ids) if grid.layers > 1 else None,
+        umc_count=draw(st.integers(1, 4)),
+        umc_coords=draw(placements),
+        umc_layers=draw(layer_ids) if grid.layers > 1 else None,
+        io_hub_coord=draw(st.sampled_from(coords)),
+        x_weight=grid.x_weight,
+        y_weight=grid.y_weight,
+        z_weight=grid.z_weight,
+        width_factor=draw(st.sampled_from([0.5, 1.0, 2.0])),
+    )
+
+
+def _adaptive_walk_hops(grid, src, dst, pick=min) -> int:
+    """Walk adaptive port sets to ``dst``; returns the hop count."""
+    here, hops = src, 0
+    bound = grid.distance(src, dst) + 1
+    while here != dst:
+        ports = grid.adaptive_ports(here, dst)
+        assert ports, f"no productive port at {here} toward {dst}"
+        here = pick(ports)
+        hops += 1
+        assert hops <= bound, "adaptive walk exceeded the distance bound"
+    return hops
+
+
+class TestGridProperties:
+    @given(grid=grids())
+    @settings(max_examples=40, deadline=None)
+    def test_grid_is_connected(self, grid):
+        graph = nx.Graph()
+        graph.add_nodes_from(grid.nodes())
+        graph.add_edges_from(grid.links())
+        assert nx.is_connected(graph)
+
+    @given(data=grids_with_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_adaptive_walk_reaches_destination(self, data):
+        grid, src, dst = data
+        if src != dst:
+            # Every productive step strictly reduces weighted distance, so
+            # any tie-break choice terminates; min/max bound both extremes.
+            _adaptive_walk_hops(grid, src, dst, pick=min)
+            _adaptive_walk_hops(grid, src, dst, pick=max)
+
+    @given(data=grids_with_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_same_layer_hop_count_agreement(self, data):
+        grid, src, dst = data
+        if src == dst or src[2] != dst[2]:
+            return
+        manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+        assert grid.hop_distance(src, dst) == manhattan
+        assert _adaptive_walk_hops(grid, src, dst, pick=min) == manhattan
+        assert _adaptive_walk_hops(grid, src, dst, pick=max) == manhattan
+
+    @given(data=grids_with_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_route_split_conserves_flow(self, data):
+        grid, src, dst = data
+        for policy in (RoutingPolicy.XY, RoutingPolicy.ADAPTIVE):
+            split = route_split(grid, src, dst, policy)
+            if src == dst:
+                assert split == {}
+                continue
+            into_dst = sum(
+                frac for (__, b), frac in split.items() if b == dst
+            )
+            assert abs(into_dst - 1.0) < 1e-9
+            out_of_src = sum(
+                frac for (a, __), frac in split.items() if a == src
+            )
+            assert abs(out_of_src - 1.0) < 1e-9
+
+    @given(grid=grids(max_dim=3, max_layers=3))
+    @settings(max_examples=25, deadline=None)
+    def test_escape_layer_is_deadlock_free(self, grid):
+        assert is_deadlock_free(grid)
+
+
+class TestTopologyProperties:
+    @given(gen=topologies())
+    @settings(max_examples=25, deadline=None)
+    def test_generated_platform_builds(self, gen):
+        platform = gen.platform()
+        assert len(platform.ccds) == len(gen.ccd_coords3)
+        assert len(platform.umcs) == len(gen.umc_coords3)
+
+    @given(gen=topologies())
+    @settings(max_examples=25, deadline=None)
+    def test_every_ccd_umc_pair_has_minimal_route(self, gen):
+        grid = gen.router_grid()
+        for src in gen.ccd_coords3:
+            for dst in gen.umc_coords3:
+                if src != dst:
+                    _adaptive_walk_hops(grid, src, dst, pick=min)

@@ -1,0 +1,194 @@
+"""The topology generator re-derives the presets and validates its space.
+
+The load-bearing contract (ISSUE: "presets become two points in the
+generated space"): a :class:`~repro.platform.generator.TopologyGen` with
+no overrides must materialize a :class:`PlatformSpec` *equal* to its base
+preset, with component-graph and link equality asserted on the resulting
+:class:`Platform` — the generator is not allowed to be a parallel,
+slightly different construction path.
+"""
+
+import dataclasses
+
+import networkx as nx
+import pytest
+
+from repro.cache import stable_bytes
+from repro.errors import ConfigurationError, TopologyError
+from repro.noc.routing import RoutingPolicy
+from repro.platform.generator import (
+    CATALOG,
+    EPYC_7302_GEN,
+    EPYC_9634_GEN,
+    TopologyGen,
+    catalog_names,
+    from_catalog,
+)
+from repro.platform.presets import EPYC_7302_SPEC, EPYC_9634_SPEC
+
+
+class TestPresetRederivation:
+    """Both evaluated machines fall out of the generator bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "gen, spec",
+        [(EPYC_7302_GEN, EPYC_7302_SPEC), (EPYC_9634_GEN, EPYC_9634_SPEC)],
+        ids=["epyc-7302", "epyc-9634"],
+    )
+    def test_spec_equality(self, gen, spec):
+        assert gen.materialize() == spec
+
+    @pytest.mark.parametrize(
+        "gen, spec",
+        [(EPYC_7302_GEN, EPYC_7302_SPEC), (EPYC_9634_GEN, EPYC_9634_SPEC)],
+        ids=["epyc-7302", "epyc-9634"],
+    )
+    def test_graph_and_link_equality(self, gen, spec):
+        from repro.platform.topology import Platform
+
+        generated = gen.platform()
+        preset = Platform(spec)
+        assert nx.utils.graphs_equal(generated.graph(), preset.graph())
+        assert generated.links == preset.links
+
+    def test_rederived_coords_cycle_like_platform(self):
+        # 12 CCDs over 4 placement entries: the 3D accessors must cycle
+        # exactly the way Platform assigns 2D stops to component ids.
+        platform = EPYC_9634_GEN.platform()
+        for ccd in platform.ccds.values():
+            x, y, z = EPYC_9634_GEN.ccd_coords3[ccd.ccd_id]
+            assert (x, y) == ccd.coord
+            assert z == 0
+        for umc in platform.umcs.values():
+            x, y, z = EPYC_9634_GEN.umc_coords3[umc.umc_id]
+            assert (x, y) == umc.coord
+            assert z == 0
+
+
+class TestGeneratedGeometry:
+    def test_ccd_count_rescales_dependent_quantities(self):
+        gen = dataclasses.replace(CATALOG["squeeze-3x2"], name="half")
+        spec = gen.materialize()
+        base = EPYC_7302_SPEC
+        assert spec.ccd_count == 2
+        assert spec.cores == base.cores_per_ccd * 2
+        assert spec.ccx_count == base.ccx_per_ccd * 2
+        assert spec.l3_total_bytes == base.l3_per_ccx_bytes * spec.ccx_count
+
+    def test_width_factor_scales_only_noc_bandwidth(self):
+        gen = CATALOG["squeeze-3x2"]
+        bw = gen.materialize().bandwidth
+        base = EPYC_7302_SPEC.bandwidth
+        assert bw.noc_read_gbps == pytest.approx(base.noc_read_gbps * 0.5)
+        assert bw.noc_write_gbps == pytest.approx(base.noc_write_gbps * 0.5)
+        assert bw.gmi_read_gbps == base.gmi_read_gbps
+        assert bw.umc_read_gbps == base.umc_read_gbps
+
+    def test_link_gbps_is_per_ccd_slice(self):
+        gen = CATALOG["squeeze-3x2"]
+        read, write = gen.link_gbps()
+        base = EPYC_7302_SPEC
+        assert read == pytest.approx(
+            base.bandwidth.noc_read_gbps * 0.5 / base.ccd_count
+        )
+        assert write == pytest.approx(
+            base.bandwidth.noc_write_gbps * 0.5 / base.ccd_count
+        )
+
+    def test_stacked_3d_lifts_umcs_onto_layer_1(self):
+        gen = CATALOG["stacked-3d"]
+        assert gen.router_grid().layers == 2
+        assert all(z == 1 for __, ___, z in gen.umc_coords3)
+        assert all(z == 0 for __, ___, z in gen.ccd_coords3)
+        # The materialized 2D spec projects placements onto the base layer.
+        platform = gen.platform()
+        assert {umc.coord for umc in platform.umcs.values()} == {
+            (0, 0), (2, 0)
+        }
+
+    def test_noc_routing_bundles_grid_policy_and_rates(self):
+        gen = CATALOG["stacked-3d"]
+        routing = gen.noc_routing(RoutingPolicy.XY)
+        assert routing.policy is RoutingPolicy.XY
+        assert routing.grid == gen.router_grid()
+        assert routing.ccd_coords3 == gen.ccd_coords3
+        lat = gen.base.latency
+        assert routing.x_hop_ns == lat.x_hop_ns
+        assert routing.z_hop_ns == pytest.approx(
+            (lat.x_hop_ns + lat.y_hop_ns) / 2.0 * gen.vertical_hop_factor
+        )
+
+
+class TestValidation:
+    def test_component_stop_outside_grid(self):
+        with pytest.raises(TopologyError):
+            TopologyGen(
+                name="bad", base=EPYC_7302_SPEC, ccd_coords=((9, 0),)
+            )
+
+    def test_layers_without_pillars(self):
+        with pytest.raises(TopologyError):
+            TopologyGen(name="bad", base=EPYC_7302_SPEC, layers=2)
+
+    def test_pillar_outside_grid(self):
+        with pytest.raises(TopologyError):
+            TopologyGen(
+                name="bad", base=EPYC_7302_SPEC, layers=2,
+                pillars=((99, 0),),
+            )
+
+    def test_component_layer_outside_stack(self):
+        with pytest.raises(TopologyError):
+            TopologyGen(
+                name="bad", base=EPYC_7302_SPEC, layers=2,
+                pillars=((0, 0),), umc_layers=(2,),
+            )
+
+    def test_nonpositive_width_factor(self):
+        with pytest.raises(ConfigurationError):
+            TopologyGen(name="bad", base=EPYC_7302_SPEC, width_factor=0.0)
+
+    def test_zero_ccd_count(self):
+        with pytest.raises(ConfigurationError):
+            TopologyGen(name="bad", base=EPYC_7302_SPEC, ccd_count=0)
+
+
+class TestCatalog:
+    def test_names_are_ordered_and_resolvable(self):
+        names = catalog_names()
+        assert names[0] == "epyc-7302"
+        assert set(names) == set(CATALOG)
+        for name in names:
+            assert from_catalog(name) is CATALOG[name]
+
+    def test_unknown_name_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            from_catalog("torus-9000")
+
+    def test_every_catalog_platform_builds(self):
+        for name in catalog_names():
+            platform = from_catalog(name).platform()
+            assert platform.ccds and platform.umcs
+
+
+class TestCacheKey:
+    """``__repro_cache_key__`` folds the full geometry into cache keys."""
+
+    def test_equal_specs_encode_identically(self):
+        a = TopologyGen(name="EPYC 7302", base=EPYC_7302_SPEC)
+        assert stable_bytes(a) == stable_bytes(EPYC_7302_GEN)
+
+    def test_geometry_changes_split_the_key(self):
+        base = CATALOG["squeeze-3x2"]
+        assert stable_bytes(base) != stable_bytes(
+            dataclasses.replace(base, width_factor=0.25)
+        )
+        assert stable_bytes(base) != stable_bytes(
+            dataclasses.replace(base, umc_coords=((2, 0),))
+        )
+        assert stable_bytes(base) != stable_bytes(
+            dataclasses.replace(base, z_weight=5)
+        )
+
+    def test_distinct_presets_never_collide(self):
+        assert stable_bytes(EPYC_7302_GEN) != stable_bytes(EPYC_9634_GEN)

@@ -135,7 +135,7 @@ class TestOps:
             with ServiceClient(_sock(service_dir)) as client:
                 assert client.ping()
                 assert client.server_info["kinds"] == [
-                    "netstack", "chaos", "trace", "kvstore"
+                    "netstack", "chaos", "trace", "kvstore", "explore"
                 ]
         assert not server_available(_sock(service_dir))
 
